@@ -1,0 +1,58 @@
+"""Figure 7: speedup of NUAT, ChargeCache, ChargeCache+NUAT and
+LL-DRAM over the DDR3 baseline.
+
+Paper: single-core averages - NUAT small, ChargeCache 2.1%, LL-DRAM
+~6%; eight-core averages - NUAT 2.5%, ChargeCache 8.6%, CC+NUAT 9.6%,
+LL-DRAM 13.4%.  Expected shape here: the same ordering
+(NUAT < CC <= CC+NUAT <= LL-DRAM), eight-core gains well above
+single-core, no workload degraded by ChargeCache, and the mcf/omnetpp
+gap to LL-DRAM.
+"""
+
+from conftest import record, run_once
+
+from repro.harness.experiments import run_fig7
+
+
+def _avg(result):
+    return result["rows"][-1]
+
+
+def test_fig7a_single_core_speedup(benchmark, scale):
+    result = run_once(benchmark, run_fig7, "single", scale=scale)
+    avg = _avg(result)
+    record(benchmark, result,
+           nuat=avg["nuat"], chargecache=avg["chargecache"],
+           cc_nuat=avg["chargecache+nuat"], lldram=avg["lldram"],
+           paper_chargecache=0.021)
+
+    # Mechanism ordering (averages).
+    assert avg["chargecache"] > avg["nuat"]
+    assert avg["lldram"] >= avg["chargecache"] - 0.005
+    assert avg["chargecache+nuat"] >= avg["chargecache"] - 0.01
+
+    # ChargeCache never degrades any workload (Section 1).
+    per_workload = result["rows"][:-1]
+    assert all(r["chargecache"] > -0.01 for r in per_workload)
+
+    # The paper's mcf discussion: large random footprint leaves a wide
+    # gap between ChargeCache and LL-DRAM.
+    mcf = next(r for r in per_workload if r["workload"] == "mcf")
+    assert mcf["lldram"] > 2 * max(mcf["chargecache"], 0.001)
+
+
+def test_fig7b_eight_core_speedup(benchmark, scale):
+    result = run_once(benchmark, run_fig7, "eight", scale=scale)
+    avg = _avg(result)
+    record(benchmark, result,
+           nuat=avg["nuat"], chargecache=avg["chargecache"],
+           cc_nuat=avg["chargecache+nuat"], lldram=avg["lldram"],
+           paper_chargecache=0.086, paper_nuat=0.025,
+           paper_cc_nuat=0.096)
+
+    assert avg["chargecache"] > avg["nuat"]
+    assert avg["lldram"] >= avg["chargecache"] - 0.005
+    assert avg["chargecache+nuat"] >= avg["chargecache"] - 0.01
+    # Eight-core gains exceed single-core gains (paper Section 6.1):
+    # multiprogramming's bank conflicts feed ChargeCache.
+    assert avg["chargecache"] > 0.0

@@ -1,0 +1,110 @@
+"""Section 7 extensions: temperature independence and other standards.
+
+The paper discusses (without evaluating) two properties; both are
+implemented and checked here:
+
+* **7.1 Temperature independence**: ChargeCache's speedup holds at any
+  temperature, while AL-DRAM-style derating vanishes at the worst case
+  (85 C, and 3D-stacked parts run hotter).  Combining the two at low
+  temperature beats either alone.
+* **7.2 Other standards**: the mechanism runs unchanged on DDR4 and
+  LPDDR3 presets (any standard with explicit ACT/PRE).
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.core.aldram import aldram_timings_at
+from repro.cpu.system import System
+from repro.dram.organization import Organization
+from repro.dram.standards import PRESETS, preset
+from repro.harness.runner import build_config
+from repro.workloads.spec_like import make_trace
+
+WORKLOAD = "tpch17"
+
+
+def _run(scale, mechanism, temperature_c=85.0, timing=None,
+         bus_freq=None):
+    cfg = build_config("single", mechanism, scale)
+    cfg = replace(cfg, temperature_c=temperature_c)
+    if bus_freq is not None:
+        cfg = replace(cfg, dram=replace(cfg.dram, bus_freq_mhz=bus_freq))
+    org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
+    system = System(cfg, [make_trace(WORKLOAD, org, seed=1)],
+                    timing=timing)
+    return system.run(max_mem_cycles=scale.max_mem_cycles)
+
+
+def test_sec71_temperature_independence(benchmark, scale):
+    def run():
+        base = _run(scale, "none").total_ipc
+        gains = {}
+        for temp in (45.0, 85.0):
+            gains[temp] = {
+                "chargecache":
+                    _run(scale, "chargecache", temp).total_ipc / base - 1,
+                "aldram":
+                    _run(scale, "aldram", temp).total_ipc / base - 1,
+                "chargecache+aldram":
+                    _run(scale, "chargecache+aldram",
+                         temp).total_ipc / base - 1,
+            }
+        return gains
+
+    gains = run_once(benchmark, run)
+    for temp, row in gains.items():
+        benchmark.extra_info[f"gains_{int(temp)}C"] = row
+        print(f"\n{int(temp)}C: " + "  ".join(
+            f"{k} {v:+.1%}" for k, v in row.items()))
+
+    hot, cool = gains[85.0], gains[45.0]
+    # ChargeCache works at the worst-case temperature...
+    assert hot["chargecache"] > 0.005
+    # ...where AL-DRAM derating has nothing left to give.
+    assert abs(hot["aldram"]) < 0.005
+    # ChargeCache is temperature independent (same reductions apply).
+    assert abs(cool["chargecache"] - hot["chargecache"]) < 0.02
+    # At low temperature the combination beats AL-DRAM alone.
+    assert cool["chargecache+aldram"] >= cool["aldram"] - 0.005
+
+
+def test_sec72_other_standards(benchmark, scale):
+    def run():
+        rows = {}
+        for name in ("DDR4-2400", "LPDDR3-1600"):
+            timing = preset(name)
+            base = _run(scale, "none", timing=timing,
+                        bus_freq=timing.freq_mhz)
+            cc = _run(scale, "chargecache", timing=timing,
+                      bus_freq=timing.freq_mhz)
+            rows[name] = {
+                "speedup": cc.total_ipc / base.total_ipc - 1,
+                "hit_rate": cc.mechanism_hit_rate,
+            }
+        return rows
+
+    rows = run_once(benchmark, run)
+    for name, row in rows.items():
+        benchmark.extra_info[name] = row
+        print(f"\n{name}: speedup {row['speedup']:+.1%}, "
+              f"hit rate {row['hit_rate']:.0%}")
+        # The mechanism transfers: hits happen and nothing degrades.
+        assert row["hit_rate"] > 0.1
+        assert row["speedup"] > -0.01
+
+
+def test_sec72_timing_presets_sane(benchmark):
+    def run():
+        return {name: (t.tRCD, t.tRAS, round(t.tCK_ns, 3))
+                for name, t in PRESETS.items()}
+
+    table = run_once(benchmark, run)
+    benchmark.extra_info["presets"] = {k: list(v) for k, v in table.items()}
+    assert set(table) >= {"DDR3-1600", "DDR4-2400", "LPDDR3-1600"}
+    # AL-DRAM derating applies to every preset as well.
+    for name in table:
+        timing = preset(name)
+        derated = aldram_timings_at(55.0, timing)
+        assert derated.trcd <= timing.tRCD

@@ -1,0 +1,46 @@
+"""Shared fixtures for the per-figure benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  A
+benchmark "round" is one full experiment, so everything runs with
+``rounds=1`` via :func:`run_once`; the interesting output is the
+experiment result stored in ``benchmark.extra_info`` and printed to
+stdout (visible with ``pytest benchmarks/ --benchmark-only -s`` and in
+the saved benchmark JSON).
+
+Scaling: budgets come from :func:`repro.harness.runner.current_scale`,
+so ``REPRO_SCALE=4 pytest benchmarks/ --benchmark-only`` runs 4x longer
+simulations (see EXPERIMENTS.md for the scaling used in the recorded
+results).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.report import render_experiment
+from repro.harness.runner import current_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)
+
+
+def record(benchmark, result: dict, **summary) -> None:
+    """Attach a JSON summary + human rendering to the benchmark."""
+    benchmark.extra_info["experiment"] = result.get("id")
+    for key, value in summary.items():
+        benchmark.extra_info[key] = value
+    # Keep raw rows available in the benchmark JSON output.
+    benchmark.extra_info["rows"] = json.loads(
+        json.dumps(result.get("rows", []), default=str))
+    print()
+    print(render_experiment(result))

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: run one workload with and without ChargeCache.
+
+This is the smallest end-to-end use of the library:
+
+1. build the paper's single-core system configuration,
+2. attach a synthetic SPEC-like workload (libquantum: streaming with
+   bank conflicts, i.e. high row-level temporal locality),
+3. run the baseline and the ChargeCache configuration,
+4. report IPC, speedup, HCRAC hit rate and DRAM energy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Organization, System, make_trace, single_core_config
+from repro.dram.timing import DDR3_1600
+from repro.energy.drampower import energy_for_run
+
+WORKLOAD = "libquantum"
+INSTRUCTIONS = 40_000
+
+
+def run(mechanism: str):
+    config = single_core_config(
+        mechanism=mechanism,
+        instruction_limit=INSTRUCTIONS,
+        warmup_cpu_cycles=10_000,
+    )
+    org = Organization.from_config(config.dram)
+    system = System(config, [make_trace(WORKLOAD, org)])
+    return system.run(max_mem_cycles=5_000_000)
+
+
+def main() -> None:
+    print(f"workload: {WORKLOAD} ({INSTRUCTIONS} instructions)")
+
+    base = run("none")
+    cc = run("chargecache")
+
+    speedup = cc.total_ipc / base.total_ipc - 1.0
+    e_base = energy_for_run(base, DDR3_1600)
+    e_cc = energy_for_run(cc, DDR3_1600)
+    saved = 1.0 - e_cc.total_pj / e_base.total_pj
+
+    print(f"baseline IPC:        {base.total_ipc:.3f}")
+    print(f"ChargeCache IPC:     {cc.total_ipc:.3f}  "
+          f"(speedup {speedup:+.1%})")
+    print(f"activations:         {cc.activations} "
+          f"({cc.mechanism_hit_rate:.0%} served with reduced tRCD/tRAS)")
+    print(f"row-buffer hit rate: {cc.row_hit_rate:.0%}")
+    print(f"DRAM energy:         {e_base.total_pj / 1e6:.2f} uJ -> "
+          f"{e_cc.total_pj / 1e6:.2f} uJ ({saved:+.1%})")
+
+
+if __name__ == "__main__":
+    main()

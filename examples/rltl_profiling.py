@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Profile Row-Level Temporal Locality (RLTL) - the paper's Section 3.
+
+RLTL(t) is the fraction of row activations that occur within time t of
+the *previous precharge of the same row*.  High RLTL means rows are
+closed and re-opened quickly (bank conflicts), which is exactly when
+ChargeCache can serve the re-activation with lowered tRCD/tRAS.
+
+This example profiles a few contrasting workloads and prints the RLTL
+curve alongside the refresh-recency fraction NUAT relies on.
+
+Run:  python examples/rltl_profiling.py
+"""
+
+from repro.harness.runner import Scale, run_workload
+
+SCALE = Scale(single_core_instructions=25_000, warmup_cpu_cycles=8_000)
+WORKLOADS = ("libquantum", "tpch17", "mcf", "sjeng")
+INTERVALS = (0.125, 0.25, 0.5, 1.0, 8.0)
+
+
+def main() -> None:
+    print("t-RLTL: fraction of activations within t of the row's own "
+          "precharge")
+    print(f"(intervals time-scaled by 1/{SCALE.time_scale:.0f}; "
+          "see DESIGN.md)\n")
+    header = f"{'workload':12s}" + \
+        "".join(f"{f'{i}ms':>10s}" for i in INTERVALS) + \
+        f"{'refr(8ms)':>11s}{'acts':>8s}"
+    print(header)
+    print("-" * len(header))
+    for name in WORKLOADS:
+        result = run_workload(name, "none", SCALE, enable_rltl=True)
+        probe = result.rltl
+        cells = "".join(f"{probe.rltl(i):>10.0%}" for i in INTERVALS)
+        print(f"{name:12s}{cells}{probe.refresh_fraction(8.0):>11.0%}"
+              f"{probe.activations:>8d}")
+    print("\nReading the table: streaming/zipfian workloads re-activate "
+          "rows almost immediately (high RLTL even at 0.125 ms), while "
+          "the refresh-recency fraction stays near 8/64 = 12.5% for "
+          "every workload - the paper's Figure 3 argument for why "
+          "ChargeCache beats NUAT.")
+
+
+if __name__ == "__main__":
+    main()

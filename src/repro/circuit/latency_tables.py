@@ -1,0 +1,107 @@
+"""Caching-duration -> activation-timing tables (paper Table 2).
+
+The paper derives, via SPICE, how much tRCD and tRAS can be lowered for
+a row that was precharged at most ``d`` milliseconds ago:
+
+    ==============  =========  =========
+    duration (ms)   tRCD (ns)  tRAS (ns)
+    ==============  =========  =========
+    baseline        13.75      35
+    1               8          22
+    4               9          24
+    16              11         28
+    ==============  =========  =========
+
+and states that at a 1 ms caching duration the reductions amount to
+**4 / 8 bus cycles** for tRCD / tRAS on the 800 MHz DDR3-1600 bus.
+
+Rounding note (documented deviation): converting the 1 ms tRAS of 22 ns
+to cycles with the usual ceil rule would give a 10-cycle reduction, not
+the 8 the paper states; DRAM vendors round such derated values
+conservatively.  We therefore pin the *cycle-level* table to the
+paper's stated 1 ms numbers and derate the longer durations
+monotonically, while keeping the ns table exactly as published (with an
+interpolated 8 ms row, which Figure 11 sweeps but Table 2 omits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Baseline DDR3-1600 activation timings in nanoseconds (Table 2, row 1).
+BASELINE_TIMINGS_NS: Tuple[float, float] = (13.75, 35.0)
+
+#: Published duration -> (tRCD ns, tRAS ns); 8 ms row interpolated.
+DURATION_TABLE_NS: Dict[float, Tuple[float, float]] = {
+    1.0: (8.0, 22.0),
+    4.0: (9.0, 24.0),
+    8.0: (10.0, 26.0),
+    16.0: (11.0, 28.0),
+}
+
+#: Duration -> (tRCD, tRAS) reduction in bus cycles at 800 MHz.
+#: The 1 ms row is the paper's headline 4/8-cycle reduction.
+DURATION_REDUCTIONS_CYCLES: Dict[float, Tuple[int, int]] = {
+    1.0: (4, 8),
+    4.0: (3, 7),
+    8.0: (2, 6),
+    16.0: (2, 5),
+}
+
+#: NUAT (5PB) refresh-age bins: age upper edge (ms) -> cycle reductions.
+#: Rows older than the last edge use default timings.  Derived from the
+#: same derating curve; a row refreshed within 6 ms is almost as charged
+#: as a ChargeCache row cached for 4 ms.
+NUAT_BIN_REDUCTIONS_CYCLES: Dict[float, Tuple[int, int]] = {
+    6.0: (3, 6),
+    16.0: (2, 5),
+    32.0: (1, 3),
+    48.0: (1, 2),
+    64.0: (0, 0),
+}
+
+
+def timings_ns_for_duration_ms(duration_ms: float) -> Tuple[float, float]:
+    """(tRCD, tRAS) in ns for a caching duration, by conservative lookup.
+
+    Durations between table rows use the next *longer* duration's (i.e.
+    safer, slower) timings; durations beyond the table use the baseline.
+    """
+    if duration_ms <= 0:
+        raise ValueError("duration must be positive")
+    for edge in sorted(DURATION_TABLE_NS):
+        if duration_ms <= edge:
+            return DURATION_TABLE_NS[edge]
+    return BASELINE_TIMINGS_NS
+
+
+def reductions_for_duration_ms(duration_ms: float) -> Tuple[int, int]:
+    """(tRCD, tRAS) cycle reductions for a caching duration.
+
+    Same conservative rule as :func:`timings_ns_for_duration_ms`:
+    round the duration up to the next table row; beyond 16 ms no
+    reduction is assumed.
+    """
+    if duration_ms <= 0:
+        raise ValueError("duration must be positive")
+    for edge in sorted(DURATION_REDUCTIONS_CYCLES):
+        if duration_ms <= edge:
+            return DURATION_REDUCTIONS_CYCLES[edge]
+    return (0, 0)
+
+
+def nuat_bin_reductions(bin_edges_ms) -> List[Tuple[float, Tuple[int, int]]]:
+    """Per-bin cycle reductions for a NUAT configuration.
+
+    Returns a list of ``(age_upper_edge_ms, (trcd_red, tras_red))``
+    sorted by edge.  Edges present in the canonical 5PB table use its
+    values; other edges fall back to the conservative duration rule.
+    """
+    table = []
+    for edge in sorted(bin_edges_ms):
+        if edge in NUAT_BIN_REDUCTIONS_CYCLES:
+            red = NUAT_BIN_REDUCTIONS_CYCLES[edge]
+        else:
+            red = reductions_for_duration_ms(edge)
+        table.append((float(edge), red))
+    return table

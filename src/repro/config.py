@@ -1,0 +1,254 @@
+"""System configuration for the ChargeCache reproduction.
+
+The defaults mirror Table 1 of the paper (HPCA 2016):
+
+* Processor: 1-8 cores, 4 GHz, 3-wide issue, 8 MSHRs/core,
+  128-entry instruction window.
+* Last-level cache: 64 B lines, 16-way, 4 MB.
+* Memory controller: 64-entry read/write queues, FR-FCFS,
+  open-row policy for single-core and closed-row for multi-core runs.
+* DRAM: DDR3-1600, 800 MHz bus, 1-2 channels, 1 rank/channel,
+  8 banks/rank, 64K rows/bank, 8 KB row buffer.
+* ChargeCache: 128 entries/core, 2-way, LRU, 1 ms caching duration,
+  tRCD/tRAS reduced by 4/8 bus cycles on a hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: CPU clock frequency used throughout the paper's evaluation (Table 1).
+DEFAULT_CPU_FREQ_GHZ = 4.0
+
+#: DDR3-1600 bus frequency in MHz (Table 1).
+DEFAULT_BUS_FREQ_MHZ = 800.0
+
+#: Known latency-mechanism names accepted by :class:`SimulationConfig`.
+MECHANISMS = ("none", "chargecache", "nuat", "chargecache+nuat",
+              "lldram", "aldram", "chargecache+aldram")
+
+#: Known row-buffer management policies (Section 3 of the paper).
+ROW_POLICIES = ("open", "closed")
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Core pipeline parameters (Table 1, "Processor" row)."""
+
+    num_cores: int = 1
+    freq_ghz: float = DEFAULT_CPU_FREQ_GHZ
+    issue_width: int = 3
+    retire_width: int = 4
+    window_size: int = 128
+    mshrs_per_core: int = 8
+
+    def validate(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        if self.issue_width < 1 or self.retire_width < 1:
+            raise ValueError("issue/retire width must be >= 1")
+        if self.window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        if self.mshrs_per_core < 1:
+            raise ValueError("mshrs_per_core must be >= 1")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Shared last-level cache parameters (Table 1, "Last-level Cache")."""
+
+    size_bytes: int = 4 * 1024 * 1024
+    associativity: int = 16
+    line_bytes: int = 64
+    hit_latency_cycles: int = 24  # CPU cycles, typical L3 lookup latency
+
+    @property
+    def num_sets(self) -> int:
+        sets = self.size_bytes // (self.associativity * self.line_bytes)
+        return max(1, sets)
+
+    def validate(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("cache size must be positive")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+        if self.size_bytes % (self.associativity * self.line_bytes):
+            raise ValueError("size must be divisible by assoc * line size")
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """DRAM organization (Table 1, "DRAM" row)."""
+
+    channels: int = 1
+    ranks_per_channel: int = 1
+    banks_per_rank: int = 8
+    rows_per_bank: int = 64 * 1024
+    row_buffer_bytes: int = 8 * 1024
+    bus_freq_mhz: float = DEFAULT_BUS_FREQ_MHZ
+    address_mapping: str = "RoBaRaCoCh"
+
+    @property
+    def columns_per_row(self) -> int:
+        """Number of 64 B cache-line columns per row buffer."""
+        return self.row_buffer_bytes // 64
+
+    def validate(self) -> None:
+        for name in ("channels", "ranks_per_channel", "banks_per_rank",
+                     "rows_per_bank"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.row_buffer_bytes % 64:
+            raise ValueError("row buffer must be a multiple of 64 B lines")
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Per-channel memory-controller parameters (Table 1)."""
+
+    read_queue_size: int = 64
+    write_queue_size: int = 64
+    scheduler: str = "frfcfs"  # or "fcfs"
+    row_policy: str = "open"   # or "closed"
+    #: Write drain starts above this occupancy fraction.
+    write_high_watermark: float = 0.8
+    #: Write drain stops below this occupancy fraction.
+    write_low_watermark: float = 0.2
+
+    def validate(self) -> None:
+        if self.scheduler not in ("frfcfs", "fcfs"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.row_policy not in ROW_POLICIES:
+            raise ValueError(f"unknown row policy {self.row_policy!r}")
+        if not 0.0 < self.write_low_watermark < self.write_high_watermark <= 1.0:
+            raise ValueError("watermarks must satisfy 0 < low < high <= 1")
+
+
+@dataclass(frozen=True)
+class ChargeCacheConfig:
+    """ChargeCache parameters (Table 1, "ChargeCache" row).
+
+    ``entries`` is the per-core, per-channel HCRAC capacity.  The timing
+    reductions are expressed in DRAM bus cycles and correspond to the
+    paper's 1 ms caching duration (tRCD 11->7, tRAS 28->20).
+    """
+
+    entries: int = 128
+    associativity: int = 2
+    caching_duration_ms: float = 1.0
+    trcd_reduction_cycles: int = 4
+    tras_reduction_cycles: int = 8
+    #: "per-core" replicates one HCRAC per (core, channel) as in the paper;
+    #: "shared" uses one table per channel (paper footnote 2, future work).
+    sharing: str = "per-core"
+    #: Idealised infinite-capacity table (Figure 9's "unlimited size").
+    unbounded: bool = False
+    #: Divides the caching duration used for invalidation pacing (only),
+    #: so scaled-down Python runs still exercise the IIC/EC sweep at the
+    #: same rate *relative to run length* as the paper's 1B-instruction
+    #: runs.  The timing reductions applied on a hit always follow the
+    #: physical (unscaled) caching duration.  1.0 = paper-literal.
+    time_scale: float = 1.0
+
+    def validate(self) -> None:
+        if self.entries < 1:
+            raise ValueError("entries must be >= 1")
+        if self.time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        if self.associativity < 1 or self.entries % self.associativity:
+            raise ValueError("entries must be divisible by associativity")
+        if self.caching_duration_ms <= 0:
+            raise ValueError("caching duration must be positive")
+        if self.sharing not in ("per-core", "shared"):
+            raise ValueError(f"unknown sharing mode {self.sharing!r}")
+
+
+@dataclass(frozen=True)
+class NUATConfig:
+    """NUAT baseline parameters (Shin et al., HPCA 2014; 5PB config)."""
+
+    #: Refresh-age bin upper edges in milliseconds.  A row whose age falls
+    #: in the first bin gets the most aggressive timings.
+    bin_edges_ms: tuple = (6.0, 16.0, 32.0, 48.0, 64.0)
+
+    def validate(self) -> None:
+        edges = self.bin_edges_ms
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError("bin edges must be sorted and non-empty")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Aggregate configuration for one simulation run."""
+
+    processor: ProcessorConfig = field(default_factory=ProcessorConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    chargecache: ChargeCacheConfig = field(default_factory=ChargeCacheConfig)
+    nuat: NUATConfig = field(default_factory=NUATConfig)
+    mechanism: str = "none"
+    #: Simulation stops when every core retired this many instructions.
+    instruction_limit: int = 100_000
+    #: Statistics are reset after this many CPU cycles (cache warmup).
+    warmup_cpu_cycles: int = 20_000
+    #: Random seed used by workload generators attached to this run.
+    seed: int = 1
+    #: When True, a core that reaches its instruction limit stops
+    #: issuing (fixed-work methodology, used for energy comparisons);
+    #: when False, finished cores keep executing to preserve memory
+    #: pressure (trace-loop methodology, used for performance).
+    idle_finished_cores: bool = False
+    #: DRAM operating temperature; used by the AL-DRAM mechanism
+    #: (Section 7.1).  85 C is the specified worst case.
+    temperature_c: float = 85.0
+
+    @property
+    def cpu_cycles_per_mem_cycle(self) -> int:
+        ratio = self.processor.freq_ghz * 1000.0 / self.dram.bus_freq_mhz
+        return max(1, round(ratio))
+
+    def validate(self) -> None:
+        self.processor.validate()
+        self.cache.validate()
+        self.dram.validate()
+        self.controller.validate()
+        self.chargecache.validate()
+        self.nuat.validate()
+        if self.mechanism not in MECHANISMS:
+            raise ValueError(
+                f"unknown mechanism {self.mechanism!r}; expected one of {MECHANISMS}")
+        if self.instruction_limit < 1:
+            raise ValueError("instruction_limit must be >= 1")
+        if self.warmup_cpu_cycles < 0:
+            raise ValueError("warmup must be >= 0")
+
+    def with_mechanism(self, mechanism: str) -> "SimulationConfig":
+        """Return a copy of this config with a different latency mechanism."""
+        return replace(self, mechanism=mechanism)
+
+
+def single_core_config(mechanism: str = "none", **overrides) -> SimulationConfig:
+    """Paper's single-core system: 1 channel, open-row policy."""
+    cfg = SimulationConfig(
+        processor=ProcessorConfig(num_cores=1),
+        dram=DRAMConfig(channels=1),
+        controller=ControllerConfig(row_policy="open"),
+        mechanism=mechanism,
+    )
+    cfg = replace(cfg, **overrides) if overrides else cfg
+    cfg.validate()
+    return cfg
+
+
+def eight_core_config(mechanism: str = "none", **overrides) -> SimulationConfig:
+    """Paper's eight-core system: 2 channels, closed-row policy."""
+    cfg = SimulationConfig(
+        processor=ProcessorConfig(num_cores=8),
+        dram=DRAMConfig(channels=2),
+        controller=ControllerConfig(row_policy="closed"),
+        mechanism=mechanism,
+    )
+    cfg = replace(cfg, **overrides) if overrides else cfg
+    cfg.validate()
+    return cfg

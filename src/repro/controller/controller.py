@@ -1,0 +1,346 @@
+"""The per-channel memory controller.
+
+Responsibilities (paper Table 1 configuration):
+
+* 64-entry read and write queues with write coalescing and
+  read-from-write-queue forwarding.
+* FR-FCFS scheduling with watermark-based write draining.
+* Open-row / closed-row buffer management.
+* Refresh: one REF per rank every tREFI, preceded by precharging.
+* Hosting the latency mechanism: lookup on ACT, insert on PRE, and
+  periodic invalidation maintenance (ChargeCache).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.controller.queues import RequestQueue
+from repro.controller.request import Request
+from repro.controller.row_policy import make_row_policy
+from repro.controller.scheduler import SchedulerDecision, make_scheduler
+from repro.core.timing_policy import LatencyMechanism
+from repro.dram.channel import Channel
+from repro.dram.commands import Command
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.timing import TimingParameters
+
+
+class ControllerStats:
+    """Post-warmup event counters for one channel."""
+
+    __slots__ = ("reads", "writes", "read_row_hits", "write_row_hits",
+                 "activations", "act_reduced", "precharges", "refreshes",
+                 "forwards", "read_latency_sum", "read_count",
+                 "active_cycle_base", "rank_active_base", "start_cycle")
+
+    def __init__(self):
+        self.reset(0, 0, 0)
+
+    def reset(self, cycle: int, active_cycle_base: int,
+              rank_active_base: int = 0) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.read_row_hits = 0
+        self.write_row_hits = 0
+        self.activations = 0
+        self.act_reduced = 0
+        self.precharges = 0
+        self.refreshes = 0
+        self.forwards = 0
+        self.read_latency_sum = 0
+        self.read_count = 0
+        self.active_cycle_base = active_cycle_base
+        self.rank_active_base = rank_active_base
+        self.start_cycle = cycle
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.reads + self.writes
+        hits = self.read_row_hits + self.write_row_hits
+        return hits / total if total else 0.0
+
+    @property
+    def act_hit_rate(self) -> float:
+        return self.act_reduced / self.activations if self.activations else 0.0
+
+    @property
+    def average_read_latency(self) -> float:
+        return self.read_latency_sum / self.read_count if self.read_count else 0.0
+
+
+class MemoryController:
+    """Command-issue engine for one memory channel."""
+
+    def __init__(self, channel_index: int, timing: TimingParameters,
+                 num_ranks: int, num_banks: int, rows_per_bank: int,
+                 controller_config, mechanism: LatencyMechanism,
+                 refresh_enabled: bool = True, rltl_probe=None,
+                 log_commands: bool = False,
+                 refresh: Optional[RefreshScheduler] = None):
+        controller_config.validate()
+        self.index = channel_index
+        self.timing = timing
+        self.config = controller_config
+        self.channel = Channel(timing, num_ranks, num_banks,
+                               index=channel_index,
+                               log_commands=log_commands)
+        if refresh is None:
+            refresh = RefreshScheduler(timing, num_ranks, rows_per_bank,
+                                       enabled=refresh_enabled)
+        self.refresh = refresh
+        self.mechanism = mechanism
+        self.rltl_probe = rltl_probe
+        self.scheduler = make_scheduler(controller_config.scheduler)
+        self.row_policy = make_row_policy(controller_config.row_policy)
+        self.read_q = RequestQueue(controller_config.read_queue_size)
+        self.write_q = RequestQueue(controller_config.write_queue_size)
+        self._drain_writes = False
+        self._wq_high = int(controller_config.write_high_watermark
+                            * controller_config.write_queue_size)
+        self._wq_low = int(controller_config.write_low_watermark
+                           * controller_config.write_queue_size)
+        self._pending_pre: Set[Tuple[int, int]] = set()
+        self._act_owner: Dict[Tuple[int, int], int] = {}
+        self._read_events: List[Tuple[int, int, Request]] = []
+        self._event_seq = itertools.count()
+        self.stats = ControllerStats()
+        self._num_ranks = num_ranks
+
+    # ------------------------------------------------------------------
+    # Request entry points (called by the cache hierarchy / system)
+    # ------------------------------------------------------------------
+
+    def enqueue_read(self, request: Request, cycle: int) -> bool:
+        """Queue a read; may be served by write-queue forwarding."""
+        if request.channel != self.index:
+            raise ValueError("request routed to the wrong channel")
+        forwarded = self.write_q.find_line(request.line_address)
+        if forwarded is not None:
+            # Serve from the write queue: newest data, ~one-cycle latency.
+            request.enqueue_cycle = cycle
+            request.done_cycle = cycle + 1
+            self.stats.forwards += 1
+            heapq.heappush(self._read_events,
+                           (cycle + 1, next(self._event_seq), request))
+            return True
+        if not self.read_q.push(request, cycle):
+            return False
+        self._cancel_pending_pre_if_hit(request)
+        return True
+
+    def enqueue_write(self, request: Request, cycle: int) -> bool:
+        """Queue a (posted) write; coalesces with queued writes."""
+        if request.channel != self.index:
+            raise ValueError("request routed to the wrong channel")
+        if self.write_q.coalesce_write(request.line_address):
+            return True
+        if not self.write_q.push(request, cycle):
+            return False
+        self._cancel_pending_pre_if_hit(request)
+        return True
+
+    def _cancel_pending_pre_if_hit(self, request: Request) -> None:
+        key = (request.rank, request.bank)
+        if key in self._pending_pre:
+            bank = self.channel.bank(request.rank, request.bank)
+            if bank.open_row == request.row:
+                self._pending_pre.discard(key)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        """Advance one bus cycle: fire completions, issue <= 1 command."""
+        events = self._read_events
+        while events and events[0][0] <= cycle:
+            _, _, req = heapq.heappop(events)
+            self.stats.read_latency_sum += req.done_cycle - req.enqueue_cycle
+            self.stats.read_count += 1
+            if req.callback is not None:
+                req.callback(req)
+
+        self.mechanism.maintain(cycle)
+
+        blocked = self._refresh_step(cycle)
+        if blocked is None:
+            return  # a refresh-related command was issued this cycle
+
+        if not (cycle & 63):
+            self.read_q.sample_occupancy()
+            self.write_q.sample_occupancy()
+
+        self._update_drain_mode()
+        queue = self.write_q if self._drain_writes else self.read_q
+        if queue:
+            decision = self.scheduler.choose(queue, self.channel, cycle,
+                                             blocked)
+            if decision is not None:
+                self._execute(decision, queue, cycle)
+                return
+
+        if self._pending_pre:
+            self._issue_pending_pre(cycle, blocked)
+
+    # ------------------------------------------------------------------
+    # Refresh handling
+    # ------------------------------------------------------------------
+
+    def _refresh_step(self, cycle: int) -> Optional[Set[int]]:
+        """Handle due refreshes.
+
+        Returns the set of refresh-blocked ranks, or None when a
+        command was issued (the channel's one-command budget is spent).
+        """
+        blocked: Set[int] = set()
+        for rank_idx in range(self._num_ranks):
+            if not self.refresh.rank_needs_refresh(rank_idx, cycle):
+                continue
+            blocked.add(rank_idx)
+        if not blocked:
+            return blocked
+        for rank_idx in sorted(blocked):
+            rank = self.channel.ranks[rank_idx]
+            if rank.all_banks_closed():
+                if self.channel.can_issue(Command.REF, rank_idx, 0, cycle):
+                    self.channel.issue_refresh(rank_idx, cycle)
+                    self.refresh.on_refresh_issued(rank_idx, cycle)
+                    self.stats.refreshes += 1
+                    return None
+            else:
+                for bank_idx, bank in enumerate(rank.banks):
+                    if bank.open_row is None:
+                        continue
+                    if self.channel.can_issue(Command.PRE, rank_idx,
+                                              bank_idx, cycle):
+                        self._issue_pre(rank_idx, bank_idx, cycle)
+                        return None
+        return blocked
+
+    # ------------------------------------------------------------------
+    # Scheduling helpers
+    # ------------------------------------------------------------------
+
+    def _update_drain_mode(self) -> None:
+        wq_len = len(self.write_q)
+        if self._drain_writes:
+            if wq_len <= self._wq_low:
+                self._drain_writes = False
+        else:
+            if wq_len >= self._wq_high or (self.read_q.is_empty and wq_len):
+                self._drain_writes = True
+
+    def _execute(self, decision: SchedulerDecision, queue: RequestQueue,
+                 cycle: int) -> None:
+        req = decision.request
+        cmd = decision.command
+        if cmd is Command.ACT:
+            self._issue_act(req, cycle)
+        elif cmd is Command.PRE:
+            self._issue_pre(req.rank, req.bank, cycle)
+        elif cmd is Command.RD:
+            done = self.channel.issue_read(req.rank, req.bank, cycle)
+            req.issue_cycle = cycle
+            req.done_cycle = done
+            queue.remove(req)
+            heapq.heappush(self._read_events,
+                           (done, next(self._event_seq), req))
+            self.stats.reads += 1
+            if not req.needed_act:
+                self.stats.read_row_hits += 1
+            self._maybe_close_after(req)
+        elif cmd is Command.WR:
+            done = self.channel.issue_write(req.rank, req.bank, cycle)
+            req.issue_cycle = cycle
+            req.done_cycle = done
+            queue.remove(req)
+            self.stats.writes += 1
+            if not req.needed_act:
+                self.stats.write_row_hits += 1
+            self._maybe_close_after(req)
+        else:  # pragma: no cover - scheduler never returns others
+            raise RuntimeError(f"unexpected command {cmd}")
+
+    def _issue_act(self, req: Request, cycle: int) -> None:
+        timings = self.mechanism.on_activate(req.rank, req.bank, req.row,
+                                             req.core_id, cycle)
+        self.channel.issue_activate(req.rank, req.bank, req.row, cycle,
+                                    timings)
+        req.needed_act = True
+        req.act_was_hit = timings is not None
+        self._act_owner[(req.rank, req.bank)] = req.core_id
+        self.stats.activations += 1
+        if req.act_was_hit:
+            self.stats.act_reduced += 1
+        if self.rltl_probe is not None:
+            self.rltl_probe.on_activate(self.index, req.rank, req.bank,
+                                        req.row, cycle)
+
+    def _issue_pre(self, rank: int, bank: int, cycle: int) -> None:
+        row = self.channel.issue_precharge(rank, bank, cycle)
+        owner = self._act_owner.get((rank, bank), 0)
+        self.mechanism.on_precharge(rank, bank, row, owner, cycle)
+        self._pending_pre.discard((rank, bank))
+        self.stats.precharges += 1
+        if self.rltl_probe is not None:
+            self.rltl_probe.on_precharge(self.index, rank, bank, row, cycle)
+
+    def _maybe_close_after(self, req: Request) -> None:
+        if self.row_policy.wants_precharge_after(req, self.read_q,
+                                                 self.write_q):
+            self._pending_pre.add((req.rank, req.bank))
+
+    def _issue_pending_pre(self, cycle: int, blocked: Set[int]) -> None:
+        for rank, bank in list(self._pending_pre):
+            if rank in blocked:
+                continue
+            bank_state = self.channel.bank(rank, bank)
+            if bank_state.open_row is None:
+                self._pending_pre.discard((rank, bank))
+                continue
+            if self.channel.can_issue(Command.PRE, rank, bank, cycle):
+                self._issue_pre(rank, bank, cycle)
+                return
+
+    # ------------------------------------------------------------------
+    # Introspection / statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.read_q or self.write_q or self._read_events
+                    or self._pending_pre)
+
+    def next_refresh_due(self) -> int:
+        return min(self.refresh.next_due(r) for r in range(self._num_ranks))
+
+    def outstanding_reads(self) -> int:
+        return len(self.read_q) + len(self._read_events)
+
+    def active_cycles(self, cycle: int) -> int:
+        """Bank-open cycles accumulated since the last stats reset."""
+        return self.channel.active_cycles_until(cycle) \
+            - self.stats.active_cycle_base
+
+    def rank_active_cycles(self, cycle: int) -> int:
+        """Per-rank any-bank-open cycles since the last stats reset."""
+        return self.channel.rank_active_cycles_until(cycle) \
+            - self.stats.rank_active_base
+
+    def reset_stats(self, cycle: int) -> None:
+        self.stats.reset(cycle, self.channel.active_cycles_until(cycle),
+                         self.channel.rank_active_cycles_until(cycle))
+        self.mechanism.reset_stats()
+        self.read_q.enqueued = 0
+        self.read_q.coalesced = 0
+        self.read_q.occupancy_accum = 0
+        self.read_q.occupancy_samples = 0
+        self.write_q.enqueued = 0
+        self.write_q.coalesced = 0
+        self.write_q.occupancy_accum = 0
+        self.write_q.occupancy_samples = 0
+        if self.rltl_probe is not None:
+            self.rltl_probe.reset()

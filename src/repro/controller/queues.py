@@ -1,0 +1,102 @@
+"""Bounded request queues with arrival-order iteration.
+
+The controller keeps one read queue and one write queue per channel
+(64 entries each in the paper's configuration).  Writes coalesce by
+line address; reads may be served by forwarding from a queued write
+(the data is newer than DRAM's copy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.controller.request import Request
+
+
+class RequestQueue:
+    """FIFO-ordered bounded queue indexed by line address."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._items: List[Request] = []
+        self._by_line: Dict[int, Request] = {}
+        # Statistics.
+        self.enqueued = 0
+        self.coalesced = 0
+        self.occupancy_accum = 0
+        self.occupancy_samples = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def occupancy_fraction(self) -> float:
+        return len(self._items) / self.capacity
+
+    # ------------------------------------------------------------------
+
+    def push(self, request: Request, cycle: int) -> bool:
+        """Append ``request``; returns False when the queue is full."""
+        if self.is_full:
+            return False
+        request.enqueue_cycle = cycle
+        self._items.append(request)
+        self._by_line[request.line_address] = request
+        self.enqueued += 1
+        return True
+
+    def coalesce_write(self, line_address: int) -> bool:
+        """True if a queued write to ``line_address`` absorbed this one."""
+        existing = self._by_line.get(line_address)
+        if existing is not None and existing.is_write:
+            self.coalesced += 1
+            return True
+        return False
+
+    def find_line(self, line_address: int) -> Optional[Request]:
+        return self._by_line.get(line_address)
+
+    def remove(self, request: Request) -> None:
+        self._items.remove(request)
+        if self._by_line.get(request.line_address) is request:
+            del self._by_line[request.line_address]
+
+    def has_row_hit(self, channel_state) -> bool:
+        """Any queued request targeting a currently open row?"""
+        for req in self._items:
+            bank = channel_state.bank(req.rank, req.bank)
+            if bank.open_row == req.row:
+                return True
+        return False
+
+    def requests_for_row(self, rank: int, bank: int, row: int) -> int:
+        """Count queued requests to a specific (rank, bank, row)."""
+        count = 0
+        for req in self._items:
+            if req.rank == rank and req.bank == bank and req.row == row:
+                count += 1
+        return count
+
+    def sample_occupancy(self) -> None:
+        self.occupancy_accum += len(self._items)
+        self.occupancy_samples += 1
+
+    @property
+    def average_occupancy(self) -> float:
+        if not self.occupancy_samples:
+            return 0.0
+        return self.occupancy_accum / self.occupancy_samples

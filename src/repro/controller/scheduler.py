@@ -1,0 +1,100 @@
+"""Request schedulers.
+
+**FR-FCFS** (first-ready, first-come-first-served; Rixner et al. [79],
+Zuravleff & Robinson [101]) is the paper's baseline policy: among
+requests whose next required command can issue *now*, column commands
+to already-open rows (row hits) win; ties break by age.
+
+**FCFS** serves strictly in arrival order and is provided as a
+reference point for tests and ablations.
+
+A scheduler returns a :class:`SchedulerDecision` naming the request and
+the command to issue on its behalf this cycle, or ``None`` when nothing
+can issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.controller.request import Request
+from repro.dram.channel import Channel
+from repro.dram.commands import Command
+
+
+@dataclass
+class SchedulerDecision:
+    """The command chosen for this cycle and the request it serves."""
+
+    request: Request
+    command: Command
+
+
+def _required_command(request: Request, channel: Channel) -> Command:
+    """The next command this request needs, given current bank state."""
+    bank = channel.bank(request.rank, request.bank)
+    if bank.open_row is None:
+        return Command.ACT
+    if bank.open_row != request.row:
+        return Command.PRE
+    return Command.RD if request.is_read else Command.WR
+
+
+class FRFCFSScheduler:
+    """First-ready FCFS over one request queue."""
+
+    name = "frfcfs"
+
+    def choose(self, queue, channel: Channel, cycle: int,
+               blocked_ranks=()) -> Optional[SchedulerDecision]:
+        """Pick the command to issue at ``cycle``, or None.
+
+        ``blocked_ranks`` lists ranks currently reserved for refresh;
+        no new command is scheduled to them.
+        """
+        # Pass 1: oldest ready row-hit column command.
+        for req in queue:
+            if req.rank in blocked_ranks:
+                continue
+            bank = channel.bank(req.rank, req.bank)
+            if bank.open_row != req.row:
+                continue
+            cmd = Command.RD if req.is_read else Command.WR
+            if channel.can_issue(cmd, req.rank, req.bank, cycle):
+                return SchedulerDecision(req, cmd)
+        # Pass 2: oldest request whose required row command is ready.
+        for req in queue:
+            if req.rank in blocked_ranks:
+                continue
+            cmd = _required_command(req, channel)
+            if cmd.is_column:
+                continue  # handled (or timing-blocked) in pass 1
+            if channel.can_issue(cmd, req.rank, req.bank, cycle):
+                return SchedulerDecision(req, cmd)
+        return None
+
+
+class FCFSScheduler:
+    """Strict in-order service of the oldest request."""
+
+    name = "fcfs"
+
+    def choose(self, queue, channel: Channel, cycle: int,
+               blocked_ranks=()) -> Optional[SchedulerDecision]:
+        for req in queue:
+            if req.rank in blocked_ranks:
+                continue
+            cmd = _required_command(req, channel)
+            if channel.can_issue(cmd, req.rank, req.bank, cycle):
+                return SchedulerDecision(req, cmd)
+            return None  # head-of-line blocking: only the oldest counts
+        return None
+
+
+def make_scheduler(name: str):
+    if name == "frfcfs":
+        return FRFCFSScheduler()
+    if name == "fcfs":
+        return FCFSScheduler()
+    raise ValueError(f"unknown scheduler {name!r}")

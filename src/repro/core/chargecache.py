@@ -1,0 +1,132 @@
+"""ChargeCache: the paper's proposed mechanism (Section 4).
+
+Operation per memory channel:
+
+1. **Insert** - when the controller issues a PRE, the address of the row
+   that was open in that bank is inserted into the HCRAC of the core
+   that last activated it (the paper replicates ChargeCache per core and
+   per channel).
+2. **Lookup** - when the controller is about to issue an ACT on behalf
+   of core *c*, it looks the row address up in core *c*'s HCRAC.  On a
+   hit, the ACT is issued with lowered tRCD/tRAS (4/8 bus cycles lower
+   by default - the paper's 1 ms caching-duration numbers).
+3. **Invalidate** - the IIC/EC two-counter scheme sweeps each HCRAC once
+   per caching duration so that no valid entry can refer to a row that
+   has leaked below the reduced-timing charge level.
+
+A ``sharing="shared"`` mode keeps a single table per channel (paper
+footnote 2 - left as future work there, implemented here).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config import ChargeCacheConfig
+from repro.core.hcrac import HCRAC, UnboundedHCRAC
+from repro.core.invalidation import PeriodicInvalidator
+from repro.core.timing_policy import LatencyMechanism
+from repro.dram.timing import ReducedTimings, TimingParameters
+
+
+def row_key(rank: int, bank: int, row: int) -> int:
+    """Pack a (rank, bank, row) triple into one integer key.
+
+    The row occupies the low bits so that the HCRAC set index is taken
+    from row-address bits, as a hardware implementation would.
+    """
+    return ((rank << 6) | bank) << 32 | row
+
+
+class ChargeCache(LatencyMechanism):
+    """Memory-controller-side tracker of highly-charged rows."""
+
+    name = "chargecache"
+
+    def __init__(self, timing: TimingParameters, config: ChargeCacheConfig,
+                 num_cores: int):
+        super().__init__(timing)
+        config.validate()
+        self.config = config
+        self.num_cores = num_cores
+        self.duration_cycles = max(
+            1, timing.ms_to_cycles(
+                config.caching_duration_ms / config.time_scale))
+        self.hit_timings = timing.reduced_by(config.trcd_reduction_cycles,
+                                             config.tras_reduction_cycles)
+        num_tables = 1 if config.sharing == "shared" else num_cores
+        self._shared = config.sharing == "shared"
+        self.unbounded = config.unbounded
+        if self.unbounded:
+            self.tables: List[UnboundedHCRAC] = [
+                UnboundedHCRAC(self.duration_cycles)
+                for _ in range(num_tables)]
+            self.invalidators: List[Optional[PeriodicInvalidator]] = \
+                [None] * num_tables
+        else:
+            self.tables = [HCRAC(config.entries, config.associativity)
+                           for _ in range(num_tables)]
+            # The IIC/EC sweep needs at least one cycle per entry.
+            sweep_cycles = max(self.duration_cycles, config.entries)
+            self.invalidators = [
+                PeriodicInvalidator(table, sweep_cycles)
+                for table in self.tables]
+        self.insertions = 0
+
+    # ------------------------------------------------------------------
+
+    def _table_index(self, core_id: int) -> int:
+        if self._shared:
+            return 0
+        if core_id < 0:
+            return 0
+        return core_id % self.num_cores
+
+    def on_activate(self, rank: int, bank: int, row: int, core_id: int,
+                    cycle: int) -> Optional[ReducedTimings]:
+        """HCRAC lookup; reduced timings on a hit (paper Section 4.2.2)."""
+        self.maintain(cycle)
+        self.lookups += 1
+        key = row_key(rank, bank, row)
+        idx = self._table_index(core_id)
+        table = self.tables[idx]
+        if self.unbounded:
+            hit = table.lookup(key, cycle)
+        else:
+            hit = table.lookup(key)
+        if hit:
+            self.hits += 1
+            return self.hit_timings
+        return None
+
+    def on_precharge(self, rank: int, bank: int, row: int, core_id: int,
+                     cycle: int) -> None:
+        """HCRAC insert: the closing row is highly charged (Sec. 4.2.1)."""
+        self.maintain(cycle)
+        key = row_key(rank, bank, row)
+        table = self.tables[self._table_index(core_id)]
+        if self.unbounded:
+            table.insert(key, cycle)
+        else:
+            table.insert(key)
+        self.insertions += 1
+
+    def maintain(self, cycle: int) -> None:
+        """Advance the IIC/EC invalidation counters to ``cycle``."""
+        if self.unbounded:
+            return
+        for invalidator in self.invalidators:
+            invalidator.advance_to(cycle)
+
+    # ------------------------------------------------------------------
+
+    def valid_entries(self) -> int:
+        return sum(len(table) for table in self.tables)
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.insertions = 0
+        for table in self.tables:
+            table.insertions = 0
+            table.evictions = 0
+            table.invalidations = 0

@@ -1,0 +1,102 @@
+"""HCRAC entry invalidation schemes (paper Section 4.2.3).
+
+The paper proposes a two-counter periodic scheme instead of per-entry
+expiry timestamps:
+
+* **IIC** (Invalidation Interval Counter) counts cycles up to ``C/k``,
+  where ``C`` is the number of cycles a row stays highly charged (the
+  caching duration) and ``k`` the number of HCRAC entries.
+* **EC** (Entry Counter) points at the next entry to invalidate; each
+  time IIC wraps, entry EC is invalidated and EC advances.
+
+Every entry is therefore invalidated (at least) once every ``C`` cycles,
+guaranteeing no valid entry is older than the caching duration, at the
+cost of occasionally invalidating a *younger* entry prematurely (the
+paper measures this loss as negligible; we do too - see
+``tests/core/test_invalidation.py``).
+
+:class:`TimestampInvalidator` is the storage-heavier exact scheme the
+paper rejects; it is kept as a cross-checking oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.hcrac import HCRAC
+
+
+class PeriodicInvalidator:
+    """The paper's IIC/EC two-counter scheme, driven by cycle deltas.
+
+    Instead of literally incrementing a counter every cycle (wasteful in
+    a Python simulator), :meth:`advance_to` computes how many IIC wraps
+    occurred since the last call and performs that many entry
+    invalidations - behaviourally identical to the hardware scheme.
+    """
+
+    def __init__(self, hcrac: HCRAC, duration_cycles: int):
+        if duration_cycles < hcrac.entries:
+            raise ValueError(
+                "caching duration shorter than one invalidation sweep; "
+                f"need >= {hcrac.entries} cycles, got {duration_cycles}")
+        self.hcrac = hcrac
+        self.duration_cycles = duration_cycles
+        #: IIC wrap period: C / k cycles per entry.
+        self.interval = max(1, duration_cycles // hcrac.entries)
+        self.entry_counter = 0          # EC
+        self._last_cycle = 0            # IIC is (cycle - last) % interval
+        self.sweeps = 0                 # completed full passes
+
+    def advance_to(self, cycle: int) -> int:
+        """Run the scheme up to ``cycle``; returns entries invalidated."""
+        if cycle < self._last_cycle:
+            raise ValueError("cycle moved backwards")
+        wraps = (cycle - self._last_cycle) // self.interval
+        if wraps == 0:
+            return 0
+        self._last_cycle += wraps * self.interval
+        cleared = 0
+        k = self.hcrac.entries
+        if wraps >= k:
+            # One or more full sweeps elapsed: everything is stale.
+            self.hcrac.clear()
+            self.sweeps += wraps // k
+            wraps %= k
+            cleared = k
+        for _ in range(wraps):
+            if self.hcrac.invalidate_entry(self.entry_counter):
+                cleared += 1
+            self.entry_counter += 1
+            if self.entry_counter == k:
+                self.entry_counter = 0
+                self.sweeps += 1
+        return cleared
+
+    def reset(self, cycle: int = 0) -> None:
+        self._last_cycle = cycle
+        self.entry_counter = 0
+
+
+class TimestampInvalidator:
+    """Exact per-key expiry (the rejected higher-cost design).
+
+    Stores an insertion timestamp per key and reports whether a key is
+    still within the caching duration.  Used by tests as an oracle: the
+    periodic scheme must never report a *stale* entry as valid, though
+    it may drop valid entries early.
+    """
+
+    def __init__(self, duration_cycles: int):
+        self.duration_cycles = duration_cycles
+        self._inserted_at: Dict[int, int] = {}
+
+    def record_insert(self, key: int, cycle: int) -> None:
+        self._inserted_at[key] = cycle
+
+    def is_fresh(self, key: int, cycle: int) -> bool:
+        stamp = self._inserted_at.get(key)
+        return stamp is not None and cycle - stamp <= self.duration_cycles
+
+    def drop(self, key: int) -> None:
+        self._inserted_at.pop(key, None)

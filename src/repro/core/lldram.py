@@ -1,0 +1,34 @@
+"""Idealised Low-Latency DRAM (paper Section 6's "LL-DRAM").
+
+An upper-bound comparison point: *every* activation uses the reduced
+tRCD/tRAS that ChargeCache applies on a hit, regardless of row charge -
+equivalent to ChargeCache with a 100% hit rate.  The paper motivates it
+with specialised low-latency parts (RLDRAM / FCRAM [29, 56, 80]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import ChargeCacheConfig
+from repro.core.timing_policy import LatencyMechanism
+from repro.dram.timing import ReducedTimings, TimingParameters
+
+
+class LowLatencyDRAM(LatencyMechanism):
+    """Every ACT issued with ChargeCache's hit timings."""
+
+    name = "lldram"
+
+    def __init__(self, timing: TimingParameters,
+                 config: Optional[ChargeCacheConfig] = None):
+        super().__init__(timing)
+        config = config or ChargeCacheConfig()
+        self.hit_timings = timing.reduced_by(config.trcd_reduction_cycles,
+                                             config.tras_reduction_cycles)
+
+    def on_activate(self, rank: int, bank: int, row: int, core_id: int,
+                    cycle: int) -> Optional[ReducedTimings]:
+        self.lookups += 1
+        self.hits += 1
+        return self.hit_timings

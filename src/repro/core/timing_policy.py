@@ -1,0 +1,146 @@
+"""Latency-mechanism interface and composition.
+
+A *latency mechanism* decides, per activation, which (tRCD, tRAS) pair
+the memory controller may use.  The controller calls:
+
+* :meth:`LatencyMechanism.on_activate` when it issues an ACT - the
+  mechanism returns reduced timings (a "hit") or ``None`` (use device
+  defaults).
+* :meth:`LatencyMechanism.on_precharge` when it issues a PRE - this is
+  where ChargeCache learns about highly-charged rows.
+* :meth:`LatencyMechanism.maintain` once per controller tick, used by
+  ChargeCache's periodic invalidation counters.
+
+Mechanisms are instantiated per memory channel, matching the paper's
+per-channel replication.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dram.timing import ReducedTimings, TimingParameters
+
+
+class LatencyMechanism:
+    """Base class; behaves as the unmodified baseline controller."""
+
+    name = "none"
+
+    def __init__(self, timing: TimingParameters):
+        self.timing = timing
+        self.lookups = 0
+        self.hits = 0
+
+    # ------------------------------------------------------------------
+
+    def on_activate(self, rank: int, bank: int, row: int, core_id: int,
+                    cycle: int) -> Optional[ReducedTimings]:
+        """Return reduced timings for this ACT, or None for defaults."""
+        self.lookups += 1
+        return None
+
+    def on_precharge(self, rank: int, bank: int, row: int, core_id: int,
+                     cycle: int) -> None:
+        """Observe a PRE command (row closes, cells fully charged)."""
+
+    def maintain(self, cycle: int) -> None:
+        """Perform periodic housekeeping up to ``cycle``."""
+
+    def reset_stats(self) -> None:
+        self.lookups = 0
+        self.hits = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class DefaultTiming(LatencyMechanism):
+    """Explicit alias of the baseline (every ACT at default timings)."""
+
+    name = "none"
+
+
+class CombinedMechanism(LatencyMechanism):
+    """Composition of two mechanisms (paper's ChargeCache + NUAT).
+
+    Every ACT consults both; if either hits, the lower of the offered
+    constraints is used for each timing parameter independently, which
+    is legal because both mechanisms guarantee at least that much charge
+    is present.
+    """
+
+    def __init__(self, timing: TimingParameters, first: LatencyMechanism,
+                 second: LatencyMechanism):
+        super().__init__(timing)
+        self.first = first
+        self.second = second
+        self.name = f"{first.name}+{second.name}"
+
+    def on_activate(self, rank, bank, row, core_id, cycle):
+        self.lookups += 1
+        a = self.first.on_activate(rank, bank, row, core_id, cycle)
+        b = self.second.on_activate(rank, bank, row, core_id, cycle)
+        if a is None and b is None:
+            return None
+        self.hits += 1
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a.min_with(b)
+
+    def on_precharge(self, rank, bank, row, core_id, cycle):
+        self.first.on_precharge(rank, bank, row, core_id, cycle)
+        self.second.on_precharge(rank, bank, row, core_id, cycle)
+
+    def maintain(self, cycle):
+        self.first.maintain(cycle)
+        self.second.maintain(cycle)
+
+    def reset_stats(self):
+        super().reset_stats()
+        self.first.reset_stats()
+        self.second.reset_stats()
+
+
+def build_mechanism(config, timing: TimingParameters, num_cores: int,
+                    refresh_scheduler) -> LatencyMechanism:
+    """Factory: build the latency mechanism named by ``config.mechanism``.
+
+    Args:
+        config: a :class:`repro.config.SimulationConfig`.
+        timing: the channel's timing parameters.
+        num_cores: number of cores (for per-core HCRAC replication).
+        refresh_scheduler: the channel's refresh scheduler (NUAT input).
+    """
+    from repro.core.aldram import ALDRAM
+    from repro.core.chargecache import ChargeCache
+    from repro.core.nuat import NUAT
+    from repro.core.lldram import LowLatencyDRAM
+
+    name = config.mechanism
+    if name == "none":
+        return DefaultTiming(timing)
+    if name == "chargecache":
+        return ChargeCache(timing, config.chargecache, num_cores)
+    if name == "nuat":
+        return NUAT(timing, config.nuat, refresh_scheduler)
+    if name == "chargecache+nuat":
+        return CombinedMechanism(
+            timing,
+            ChargeCache(timing, config.chargecache, num_cores),
+            NUAT(timing, config.nuat, refresh_scheduler))
+    if name == "lldram":
+        return LowLatencyDRAM(timing, config.chargecache)
+    if name == "aldram":
+        return ALDRAM(timing, config.temperature_c)
+    if name == "chargecache+aldram":
+        return CombinedMechanism(
+            timing,
+            ChargeCache(timing, config.chargecache, num_cores),
+            ALDRAM(timing, config.temperature_c))
+    raise ValueError(f"unknown mechanism {name!r}")

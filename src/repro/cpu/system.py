@@ -1,0 +1,320 @@
+"""The full simulated system: cores + shared LLC + memory controllers.
+
+Clocking follows the paper: cores at 4 GHz, DRAM bus at 800 MHz, so the
+system advances in DRAM bus cycles and lets each core catch up by
+``cpu_cycles_per_mem_cycle`` (5) CPU cycles per bus cycle.  Load
+completions are delivered through a single event heap in CPU time.
+
+A run executes until every core has retired ``instruction_limit``
+post-warmup instructions (finished cores keep executing so memory
+pressure stays realistic, exactly like trace-loop methodology in
+Ramulator-based studies).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.config import SimulationConfig
+from repro.controller.address_mapping import AddressMapper
+from repro.controller.controller import MemoryController
+from repro.core.timing_policy import build_mechanism
+from repro.cpu.cache import SharedCache
+from repro.cpu.core import Core
+from repro.cpu.trace import TraceRecord
+from repro.dram.organization import Organization
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.timing import DDR3_1600, TimingParameters
+from repro.stats.probes import CompositeProbe
+from repro.stats.reuse import RowReuseProfiler
+from repro.stats.rltl import RLTLProbe
+
+
+@dataclass
+class RunResult:
+    """Everything the harness needs from one simulation run."""
+
+    config: SimulationConfig
+    mem_cycles: int
+    cpu_cycles: int
+    instructions: List[int]
+    core_cycles: List[int]
+    ipcs: List[float]
+    llc_hit_rate: float
+    llc_load_misses: int
+    activations: int
+    act_reduced: int
+    reads: int
+    writes: int
+    refreshes: int
+    row_hit_rate: float
+    average_read_latency_cycles: float
+    mechanism_lookups: int
+    mechanism_hits: int
+    active_bank_cycles: int
+    rank_active_cycles: int = 0
+    #: Total post-warmup instructions retired by all cores, including
+    #: work done by cores that kept executing after reaching their
+    #: instruction limit (trace-loop methodology).  Use this for
+    #: iso-work comparisons such as energy per instruction.
+    work_instructions: int = 0
+    truncated: bool = False
+    rltl: Optional[RLTLProbe] = None
+    reuse: Optional[RowReuseProfiler] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mechanism_hit_rate(self) -> float:
+        if not self.mechanism_lookups:
+            return 0.0
+        return self.mechanism_hits / self.mechanism_lookups
+
+    @property
+    def total_ipc(self) -> float:
+        return sum(self.ipcs)
+
+    def rmpkc(self) -> float:
+        """Row misses (activations) per kilo CPU cycle."""
+        if self.cpu_cycles <= 0:
+            return 0.0
+        return self.activations * 1000.0 / self.cpu_cycles
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph run summary."""
+        lines = [
+            f"mechanism={self.config.mechanism} "
+            f"cores={self.config.processor.num_cores} "
+            f"channels={self.config.dram.channels} "
+            f"policy={self.config.controller.row_policy}",
+            f"cycles: {self.mem_cycles} bus / {self.cpu_cycles} cpu"
+            + (" (truncated)" if self.truncated else ""),
+            f"IPC: total {self.total_ipc:.3f} "
+            f"[{', '.join(f'{i:.3f}' for i in self.ipcs)}]",
+            f"DRAM: {self.activations} ACT ({self.rmpkc():.2f} RMPKC), "
+            f"{self.reads} RD, {self.writes} WR, "
+            f"{self.refreshes} REF, row-hit {self.row_hit_rate:.0%}, "
+            f"avg read latency {self.average_read_latency_cycles:.1f} cyc",
+            f"LLC hit rate: {self.llc_hit_rate:.0%}",
+        ]
+        if self.mechanism_lookups:
+            lines.append(
+                f"mechanism: {self.mechanism_hits}/{self.mechanism_lookups}"
+                f" activations accelerated ({self.mechanism_hit_rate:.0%})")
+        return "\n".join(lines)
+
+
+class System:
+    """Wires cores, LLC and controllers together and runs the clock."""
+
+    def __init__(self, config: SimulationConfig,
+                 traces: Sequence[Iterator[TraceRecord]],
+                 enable_rltl: bool = False,
+                 rltl_time_scale: float = 1.0,
+                 enable_reuse: bool = False,
+                 log_commands: bool = False,
+                 timing: Optional[TimingParameters] = None):
+        config.validate()
+        if len(traces) != config.processor.num_cores:
+            raise ValueError(
+                f"need {config.processor.num_cores} traces, got {len(traces)}")
+        self.config = config
+        self.timing = timing or DDR3_1600
+        self.organization = Organization.from_config(
+            config.dram, config.cache.line_bytes)
+        self.mapper = AddressMapper(self.organization)
+        self.ratio = config.cpu_cycles_per_mem_cycle
+
+        self.rltl_probe = None
+        if enable_rltl:
+            self.rltl_probe = RLTLProbe(self.timing,
+                                        time_scale=rltl_time_scale)
+        self.reuse_probe = RowReuseProfiler() if enable_reuse else None
+        probes = [p for p in (self.rltl_probe, self.reuse_probe)
+                  if p is not None]
+        if not probes:
+            controller_probe = None
+        elif len(probes) == 1:
+            controller_probe = probes[0]
+        else:
+            controller_probe = CompositeProbe(probes)
+
+        self.controllers: List[MemoryController] = []
+        for ch in range(self.organization.channels):
+            refresh = RefreshScheduler(self.timing, self.organization.ranks,
+                                       self.organization.rows)
+            mechanism = build_mechanism(config, self.timing,
+                                        config.processor.num_cores, refresh)
+            controller = MemoryController(
+                ch, self.timing, self.organization.ranks,
+                self.organization.banks, self.organization.rows,
+                config.controller, mechanism, refresh=refresh,
+                rltl_probe=controller_probe, log_commands=log_commands)
+            self.controllers.append(controller)
+            if self.rltl_probe is not None:
+                self.rltl_probe.refresh_schedulers[ch] = refresh
+
+        self.mem_cycle = 0
+        self._events: List = []  # (cpu_time, seq, core_id, token)
+        self._event_seq = 0
+
+        self.llc = SharedCache(config.cache, self.mapper, self.controllers,
+                               hit_notify=self._schedule_hit,
+                               current_mem_cycle=lambda: self.mem_cycle)
+
+        proc = config.processor
+        self.cores: List[Core] = []
+        for core_id in range(proc.num_cores):
+            core = Core(core_id, traces[core_id], issue=self._core_issue,
+                        issue_width=proc.issue_width,
+                        window_size=proc.window_size,
+                        mshrs=proc.mshrs_per_core,
+                        instruction_limit=config.instruction_limit)
+            self.cores.append(core)
+
+    # ------------------------------------------------------------------
+    # Wiring callbacks
+    # ------------------------------------------------------------------
+
+    def _core_issue(self, core_id: int, line_address: int, is_write: bool,
+                    token: int) -> bool:
+        if is_write:
+            return self.llc.access_store(core_id, line_address)
+        return self.llc.access_load(core_id, line_address, token,
+                                    notify=self._load_done)
+
+    def _load_done(self, core_id: int, token: int) -> None:
+        self.cores[core_id].on_load_complete(token)
+
+    def _schedule_hit(self, core_id: int, token: int, delay: int) -> None:
+        cpu_time = self.mem_cycle * self.ratio + delay
+        self._event_seq += 1
+        heapq.heappush(self._events,
+                       (cpu_time, self._event_seq, core_id, token))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_mem_cycles: Optional[int] = None) -> RunResult:
+        """Run to completion (all cores at their instruction limit).
+
+        ``max_mem_cycles`` is a safety stop; if hit, the result is
+        flagged ``truncated`` and IPCs reflect the partial run.
+        """
+        config = self.config
+        ratio = self.ratio
+        warmup = config.warmup_cpu_cycles
+        warmed = warmup == 0
+        idle_finished = config.idle_finished_cores
+        events = self._events
+        cores = self.cores
+        controllers = self.controllers
+        truncated = False
+
+        while True:
+            self.mem_cycle += 1
+            mem = self.mem_cycle
+            cpu_now = mem * ratio
+            while events and events[0][0] <= cpu_now:
+                _, _, core_id, token = heapq.heappop(events)
+                cores[core_id].on_load_complete(token)
+            for controller in controllers:
+                controller.tick(mem)
+            self.llc.tick()
+            all_finished = True
+            for core in cores:
+                if idle_finished and warmed and core.finished:
+                    continue
+                core.retry_rejected()
+                core.run_until(cpu_now)
+                if not core.finished:
+                    all_finished = False
+            if not warmed and cpu_now >= warmup:
+                warmed = True
+                self._reset_stats(cpu_now, mem)
+                all_finished = False
+            if warmed and all_finished:
+                break
+            if max_mem_cycles is not None and mem >= max_mem_cycles:
+                truncated = True
+                break
+
+        return self._collect(truncated)
+
+    def _reset_stats(self, cpu_now: int, mem: int) -> None:
+        for controller in self.controllers:
+            controller.reset_stats(mem)
+        for core in self.cores:
+            core.reset_stats(cpu_now)
+        self.llc.reset_stats()
+        self._warmup_end_cpu = cpu_now
+        self._warmup_end_mem = mem
+
+    # ------------------------------------------------------------------
+    # Result collection
+    # ------------------------------------------------------------------
+
+    def _collect(self, truncated: bool) -> RunResult:
+        start_mem = getattr(self, "_warmup_end_mem", 0)
+        start_cpu = getattr(self, "_warmup_end_cpu", 0)
+        mem_cycles = self.mem_cycle - start_mem
+        cpu_cycles = self.mem_cycle * self.ratio - start_cpu
+
+        instructions = []
+        core_cycles = []
+        ipcs = []
+        limit = self.config.instruction_limit
+        for core in self.cores:
+            retired = min(core.retired_since_reset, limit)
+            end = core.finish_cycle if core.finish_cycle is not None \
+                else core.now
+            cycles = max(1, end - core.stats_start_cycle)
+            instructions.append(retired)
+            core_cycles.append(cycles)
+            ipcs.append(retired / cycles)
+
+        activations = sum(c.stats.activations for c in self.controllers)
+        act_reduced = sum(c.stats.act_reduced for c in self.controllers)
+        reads = sum(c.stats.reads for c in self.controllers)
+        writes = sum(c.stats.writes for c in self.controllers)
+        refreshes = sum(c.stats.refreshes for c in self.controllers)
+        lookups = sum(c.mechanism.lookups for c in self.controllers)
+        hits = sum(c.mechanism.hits for c in self.controllers)
+        row_hits = sum(c.stats.read_row_hits + c.stats.write_row_hits
+                       for c in self.controllers)
+        col_cmds = reads + writes
+        lat_sum = sum(c.stats.read_latency_sum for c in self.controllers)
+        lat_cnt = sum(c.stats.read_count for c in self.controllers)
+        active = sum(c.active_cycles(self.mem_cycle)
+                     for c in self.controllers)
+        rank_active = sum(c.rank_active_cycles(self.mem_cycle)
+                          for c in self.controllers)
+        work = sum(core.retired_since_reset for core in self.cores)
+
+        return RunResult(
+            config=self.config,
+            mem_cycles=mem_cycles,
+            cpu_cycles=cpu_cycles,
+            instructions=instructions,
+            core_cycles=core_cycles,
+            ipcs=ipcs,
+            llc_hit_rate=self.llc.hit_rate(),
+            llc_load_misses=self.llc.load_misses,
+            activations=activations,
+            act_reduced=act_reduced,
+            reads=reads,
+            writes=writes,
+            refreshes=refreshes,
+            row_hit_rate=(row_hits / col_cmds) if col_cmds else 0.0,
+            average_read_latency_cycles=(lat_sum / lat_cnt) if lat_cnt else 0.0,
+            mechanism_lookups=lookups,
+            mechanism_hits=hits,
+            active_bank_cycles=active,
+            rank_active_cycles=rank_active,
+            work_instructions=work,
+            truncated=truncated,
+            rltl=self.rltl_probe,
+            reuse=self.reuse_probe,
+        )

@@ -1,0 +1,184 @@
+"""Per-channel DRAM state: command bus, data bus and cross-rank timing.
+
+Channel-scope constraints:
+
+* One command per bus cycle (command-bus serialization).
+* tCCD between column commands sharing the data bus.
+* Read-to-write and write-to-read turnaround across the channel.
+* tRTRS when consecutive column commands target different ranks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dram.commands import Command, IssuedCommand
+from repro.dram.rank import Rank
+from repro.dram.timing import TimingParameters, ReducedTimings
+
+
+class Channel:
+    """Timing state machine for one memory channel.
+
+    The channel owns its ranks (and transitively banks) and is the only
+    entry point used by the controller to issue commands, so every
+    timing constraint is enforced in one place.
+    """
+
+    __slots__ = ("timing", "index", "ranks", "next_cmd", "next_rd",
+                 "next_wr", "_last_col_rank", "num_acts", "num_pres",
+                 "num_rds", "num_wrs", "num_refs", "num_reduced_acts",
+                 "command_log", "log_commands", "data_bus_busy_cycles")
+
+    def __init__(self, timing: TimingParameters, num_ranks: int,
+                 num_banks: int, index: int = 0,
+                 log_commands: bool = False):
+        self.timing = timing
+        self.index = index
+        self.ranks: List[Rank] = [Rank(timing, num_banks)
+                                  for _ in range(num_ranks)]
+        self.next_cmd = 0       # command bus free cycle
+        self.next_rd = 0        # earliest RD anywhere on the channel
+        self.next_wr = 0        # earliest WR anywhere on the channel
+        self._last_col_rank: Optional[int] = None
+        # Statistics.
+        self.num_acts = 0
+        self.num_pres = 0
+        self.num_rds = 0
+        self.num_wrs = 0
+        self.num_refs = 0
+        self.num_reduced_acts = 0
+        self.data_bus_busy_cycles = 0
+        self.log_commands = log_commands
+        self.command_log: List[IssuedCommand] = []
+
+    # ------------------------------------------------------------------
+    # Earliest-issue queries
+    # ------------------------------------------------------------------
+
+    def earliest(self, command: Command, rank: int, bank: int) -> int:
+        """Earliest bus cycle at which ``command`` may be issued."""
+        rk = self.ranks[rank]
+        if command is Command.ACT:
+            gate = max(rk.banks[bank].earliest_act(), rk.earliest_act())
+        elif command is Command.PRE:
+            gate = rk.banks[bank].earliest_pre()
+        elif command is Command.RD:
+            gate = max(rk.banks[bank].earliest_rd(), self.next_rd,
+                       self._rank_switch_gate(rank))
+        elif command is Command.WR:
+            gate = max(rk.banks[bank].earliest_wr(), self.next_wr,
+                       self._rank_switch_gate(rank))
+        elif command is Command.REF:
+            gate = rk.earliest_refresh()
+        else:
+            raise ValueError(f"unsupported command {command}")
+        return max(gate, self.next_cmd)
+
+    def can_issue(self, command: Command, rank: int, bank: int,
+                  cycle: int) -> bool:
+        return self.earliest(command, rank, bank) <= cycle
+
+    def _rank_switch_gate(self, rank: int) -> int:
+        """Extra delay when the data bus switches ranks (tRTRS)."""
+        if self._last_col_rank is None or self._last_col_rank == rank:
+            return 0
+        # Approximation: the switch penalty rides on the existing
+        # column gates, so just add tRTRS to the later of the two.
+        return min(self.next_rd, self.next_wr) + self.timing.tRTRS
+
+    # ------------------------------------------------------------------
+    # Command issue
+    # ------------------------------------------------------------------
+
+    def issue_activate(self, rank: int, bank: int, row: int, cycle: int,
+                       timings: Optional[ReducedTimings] = None) -> None:
+        """Issue an ACT; ``timings`` may lower tRCD/tRAS for this row."""
+        if timings is None:
+            timings = self.timing.default_timings()
+        self._claim_cmd_bus(cycle)
+        rk = self.ranks[rank]
+        if cycle < rk.earliest_act():
+            raise RuntimeError(
+                f"ACT at {cycle} violates tRRD/tFAW/tRFC "
+                f"(earliest {rk.earliest_act()})")
+        rk.banks[bank].do_activate(row, cycle, timings)
+        rk.record_act(cycle)
+        rk.note_bank_opened(cycle)
+        self.num_acts += 1
+        if rk.banks[bank].act_reduced:
+            self.num_reduced_acts += 1
+        if self.log_commands:
+            self.command_log.append(IssuedCommand(
+                Command.ACT, cycle, self.index, rank, bank, row,
+                reduced=rk.banks[bank].act_reduced))
+
+    def issue_precharge(self, rank: int, bank: int, cycle: int) -> int:
+        """Issue a PRE; returns the row that was closed."""
+        self._claim_cmd_bus(cycle)
+        row = self.ranks[rank].banks[bank].do_precharge(cycle)
+        self.ranks[rank].note_bank_closed(cycle)
+        self.num_pres += 1
+        if self.log_commands:
+            self.command_log.append(IssuedCommand(
+                Command.PRE, cycle, self.index, rank, bank, row))
+        return row
+
+    def issue_read(self, rank: int, bank: int, cycle: int) -> int:
+        """Issue a RD; returns the cycle the data burst completes."""
+        self._claim_cmd_bus(cycle)
+        t = self.timing
+        self.ranks[rank].banks[bank].do_read(cycle)
+        self.next_rd = max(self.next_rd, cycle + t.tCCD)
+        self.next_wr = max(self.next_wr, cycle + t.read_to_write)
+        self._last_col_rank = rank
+        self.num_rds += 1
+        self.data_bus_busy_cycles += t.tBL
+        if self.log_commands:
+            self.command_log.append(IssuedCommand(
+                Command.RD, cycle, self.index, rank, bank))
+        return cycle + t.read_latency
+
+    def issue_write(self, rank: int, bank: int, cycle: int) -> int:
+        """Issue a WR; returns the cycle the burst is fully written."""
+        self._claim_cmd_bus(cycle)
+        t = self.timing
+        self.ranks[rank].banks[bank].do_write(cycle)
+        self.next_wr = max(self.next_wr, cycle + t.tCCD)
+        self.next_rd = max(self.next_rd, cycle + t.write_to_read)
+        self._last_col_rank = rank
+        self.num_wrs += 1
+        self.data_bus_busy_cycles += t.tBL
+        if self.log_commands:
+            self.command_log.append(IssuedCommand(
+                Command.WR, cycle, self.index, rank, bank))
+        return cycle + t.tCWL + t.tBL
+
+    def issue_refresh(self, rank: int, cycle: int) -> None:
+        self._claim_cmd_bus(cycle)
+        self.ranks[rank].do_refresh(cycle)
+        self.num_refs += 1
+        if self.log_commands:
+            self.command_log.append(IssuedCommand(
+                Command.REF, cycle, self.index, rank))
+
+    def _claim_cmd_bus(self, cycle: int) -> None:
+        if cycle < self.next_cmd:
+            raise RuntimeError(
+                f"command bus busy until {self.next_cmd}, issue at {cycle}")
+        self.next_cmd = cycle + 1
+
+    # ------------------------------------------------------------------
+
+    def bank(self, rank: int, bank: int):
+        return self.ranks[rank].banks[bank]
+
+    def open_bank_count(self) -> int:
+        return sum(rank.open_bank_count() for rank in self.ranks)
+
+    def active_cycles_until(self, cycle: int) -> int:
+        return sum(rank.active_cycles_until(cycle) for rank in self.ranks)
+
+    def rank_active_cycles_until(self, cycle: int) -> int:
+        """Sum of per-rank "any bank open" cycles (IDD3N standby time)."""
+        return sum(rank.any_open_until(cycle) for rank in self.ranks)

@@ -1,0 +1,120 @@
+"""Per-rank DRAM state: tRRD, tFAW and refresh gating.
+
+Rank-scope constraints:
+
+* tRRD - minimum spacing between ACTs to different banks of one rank.
+* tFAW - at most four ACTs within any tFAW-cycle window (tracked with a
+  ring of the last four ACT cycles).
+* tRFC - after a REF, no ACT to the rank until tRFC elapses.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dram.bank import Bank
+from repro.dram.timing import TimingParameters
+
+
+class Rank:
+    """Timing state for one rank (a group of banks)."""
+
+    __slots__ = ("timing", "banks", "next_act", "_act_history",
+                 "num_refreshes", "refresh_busy_until", "open_banks",
+                 "any_open_since", "any_open_cycles")
+
+    def __init__(self, timing: TimingParameters, num_banks: int):
+        self.timing = timing
+        self.banks: List[Bank] = [Bank(timing) for _ in range(num_banks)]
+        self.next_act = 0
+        # Cycles of the last four ACTs (ring buffer for tFAW).
+        self._act_history: List[int] = []
+        self.num_refreshes = 0
+        self.refresh_busy_until = 0
+        # Active-standby accounting ("any bank open" time, for IDD3N).
+        self.open_banks = 0
+        self.any_open_since = 0
+        self.any_open_cycles = 0
+
+    # ------------------------------------------------------------------
+
+    def earliest_act(self) -> int:
+        """Rank-level earliest ACT cycle (tRRD + tFAW + tRFC)."""
+        earliest = self.next_act
+        if len(self._act_history) >= 4:
+            faw_gate = self._act_history[-4] + self.timing.tFAW
+            if faw_gate > earliest:
+                earliest = faw_gate
+        if self.refresh_busy_until > earliest:
+            earliest = self.refresh_busy_until
+        return earliest
+
+    def record_act(self, cycle: int) -> None:
+        """Register an ACT for tRRD/tFAW accounting."""
+        self.next_act = max(self.next_act, cycle + self.timing.tRRD)
+        self._act_history.append(cycle)
+        if len(self._act_history) > 4:
+            del self._act_history[0]
+
+    # ------------------------------------------------------------------
+    # Refresh support
+    # ------------------------------------------------------------------
+
+    def all_banks_closed(self) -> bool:
+        return all(bank.open_row is None for bank in self.banks)
+
+    def earliest_refresh(self) -> int:
+        """Earliest cycle a REF may be issued (all banks precharged).
+
+        A REF requires every bank to be closed and past its tRP window,
+        which is encoded in each bank's ``next_act``.
+        """
+        if not self.all_banks_closed():
+            raise RuntimeError("REF requires all banks precharged")
+        earliest = self.refresh_busy_until
+        for bank in self.banks:
+            if bank.next_act > earliest:
+                earliest = bank.next_act
+        return earliest
+
+    def do_refresh(self, cycle: int) -> None:
+        """Apply a REF command: the rank is busy for tRFC cycles."""
+        if not self.all_banks_closed():
+            raise RuntimeError("REF issued with an open bank")
+        done = cycle + self.timing.tRFC
+        self.refresh_busy_until = done
+        for bank in self.banks:
+            bank.do_refresh_block(done)
+        self.num_refreshes += 1
+
+    # ------------------------------------------------------------------
+    # Active-standby accounting (energy model input)
+    # ------------------------------------------------------------------
+
+    def note_bank_opened(self, cycle: int) -> None:
+        if self.open_banks == 0:
+            self.any_open_since = cycle
+        self.open_banks += 1
+
+    def note_bank_closed(self, cycle: int) -> None:
+        if self.open_banks <= 0:
+            raise RuntimeError("bank-close without matching open")
+        self.open_banks -= 1
+        if self.open_banks == 0:
+            self.any_open_cycles += cycle - self.any_open_since
+
+    def any_open_until(self, cycle: int) -> int:
+        """Cycles with >= 1 open bank (IDD3N active standby), to date."""
+        total = self.any_open_cycles
+        if self.open_banks:
+            total += max(0, cycle - self.any_open_since)
+        return total
+
+    # ------------------------------------------------------------------
+
+    def open_bank_count(self) -> int:
+        return sum(1 for bank in self.banks if bank.open_row is not None)
+
+    def active_cycles_until(self, cycle: int) -> int:
+        """Aggregate bank-open cycles across the rank, up to ``cycle``."""
+        return sum(bank.active_cycles_until(cycle) for bank in self.banks)

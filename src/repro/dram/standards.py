@@ -1,0 +1,114 @@
+"""Timing presets for other DDR-derived standards (paper Section 7.2).
+
+The paper argues ChargeCache applies unchanged to any standard with
+explicit ACT/PRE commands (DDRx, GDDRx, LPDDRx, 3D-stacked stacks with
+a logic-layer controller) and is *inapplicable* to RL-DRAM, whose
+interface has no controller-visible activation.
+
+These presets are representative datasheet values (bus cycles at the
+named data rate), sufficient to demonstrate the mechanism end-to-end on
+non-DDR3 devices; they are not complete JEDEC models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dram.timing import DDR3_1600, TimingParameters
+
+#: DDR4-2400: 1200 MHz bus, tCK = 0.833 ns.
+DDR4_2400 = TimingParameters(
+    name="DDR4-2400",
+    freq_mhz=1200.0,
+    tCK_ns=1000.0 / 1200.0,
+    tRCD=16,   # 13.32 ns
+    tRAS=39,   # 32.5 ns
+    tRP=16,
+    tCL=16,
+    tCWL=12,
+    tBL=4,
+    tCCD=6,    # tCCD_L
+    tRTP=9,
+    tWR=18,    # 15 ns
+    tWTR=9,    # tWTR_L
+    tRRD=6,    # tRRD_L
+    tFAW=32,
+    tRFC=420,  # 350 ns (8 Gb)
+    tREFI=9375,  # 7.8125 us
+    tRTRS=2,
+)
+
+#: LPDDR3-1600: 800 MHz bus; relaxed core timings vs DDR3.
+LPDDR3_1600 = TimingParameters(
+    name="LPDDR3-1600",
+    freq_mhz=800.0,
+    tCK_ns=1.25,
+    tRCD=15,   # 18.75 ns
+    tRAS=34,   # 42.5 ns
+    tRP=15,
+    tCL=12,
+    tCWL=6,
+    tBL=4,
+    tCCD=4,
+    tRTP=6,
+    tWR=12,
+    tWTR=6,
+    tRRD=8,    # 10 ns
+    tFAW=40,   # 50 ns
+    tRFC=168,  # 210 ns
+    tREFI=3125,  # 3.906 us (LPDDR refreshes 2x as often)
+    tRTRS=2,
+)
+
+#: GDDR5-like preset (shortened core timings, fast bus).
+GDDR5_4000 = TimingParameters(
+    name="GDDR5-4000",
+    freq_mhz=2000.0,
+    tCK_ns=0.5,
+    tRCD=24,   # 12 ns
+    tRAS=56,   # 28 ns
+    tRP=24,
+    tCL=24,
+    tCWL=8,
+    tBL=2,
+    tCCD=2,
+    tRTP=4,
+    tWR=24,
+    tWTR=10,
+    tRRD=12,
+    tFAW=46,
+    tRFC=520,
+    tREFI=7600,
+    tRTRS=2,
+)
+
+PRESETS: Dict[str, TimingParameters] = {
+    "DDR3-1600": DDR3_1600,
+    "DDR4-2400": DDR4_2400,
+    "LPDDR3-1600": LPDDR3_1600,
+    "GDDR5-4000": GDDR5_4000,
+}
+
+
+def preset(name: str) -> TimingParameters:
+    """Look up a standard's timing preset by name."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown standard {name!r}; known: {sorted(PRESETS)}") from None
+
+
+def chargecache_reductions_for(timing: TimingParameters,
+                               trcd_reduction_ns: float = 5.0,
+                               tras_reduction_ns: float = 10.0):
+    """Translate the 1 ms charge headroom into cycles for a standard.
+
+    The physics (charge in the cells) is standard independent; only the
+    clock changes.  Reductions are floored conservatively.
+    """
+    trcd_red = int(trcd_reduction_ns / timing.tCK_ns)
+    tras_red = int(tras_reduction_ns / timing.tCK_ns)
+    trcd_red = min(trcd_red, timing.tRCD - 1)
+    tras_red = min(tras_red, timing.tRAS - 1)
+    return timing.reduced_by(max(0, trcd_red), max(0, tras_red))

@@ -1,0 +1,33 @@
+"""Energy and area models.
+
+* :mod:`repro.energy.drampower` - command-level DRAM energy (the
+  paper's DRAMPower substitute, Section 6.2 / Figure 8).
+* :mod:`repro.energy.mcpat` - ChargeCache storage/area/power overhead
+  (the paper's McPAT substitute, Section 6.3, equations 1-2).
+"""
+
+from repro.energy.drampower import (
+    DDR3PowerParameters,
+    EnergyBreakdown,
+    energy_for_run,
+)
+from repro.energy.mcpat import (
+    hcrac_storage_bits,
+    hcrac_entry_bits,
+    HCRACOverhead,
+    hcrac_overhead,
+    LLC_AREA_MM2_4MB_22NM,
+    LLC_POWER_W_4MB_22NM,
+)
+
+__all__ = [
+    "DDR3PowerParameters",
+    "EnergyBreakdown",
+    "energy_for_run",
+    "hcrac_storage_bits",
+    "hcrac_entry_bits",
+    "HCRACOverhead",
+    "hcrac_overhead",
+    "LLC_AREA_MM2_4MB_22NM",
+    "LLC_POWER_W_4MB_22NM",
+]

@@ -1,0 +1,162 @@
+"""Command-level DRAM energy model (the paper's DRAMPower substitute).
+
+Energy is computed from the simulator's post-warmup command counts and
+state-residency using the standard IDDx current-class decomposition
+(Micron DDR3 datasheet / DRAMPower methodology):
+
+* **ACT/PRE pair**: ``(IDD0*tRC - IDD3N*tRAS - IDD2N*(tRC-tRAS)) * VDD``
+  per activation - the charge above the standby floor.
+* **Read / write burst**: ``(IDD4R/W - IDD3N) * VDD * tBurst``.
+* **Refresh**: ``(IDD5B - IDD2N) * VDD * tRFC``.
+* **Background**: ``IDD3N`` while >= 1 bank is open (active standby),
+  ``IDD2N`` otherwise (precharged standby).
+
+ChargeCache reduces DRAM energy through exactly two terms the model
+captures: a shorter run (less background energy for the same work) and
+earlier precharges on reduced-tRAS activations (less active standby).
+The ChargeCache table's own power (from :mod:`repro.energy.mcpat`) is
+charged against the mechanism, as the paper does in Section 6.2.
+
+Currents are per DRAM device; a rank has ``chips_per_rank`` devices
+sharing the 64-bit bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import TimingParameters
+
+
+@dataclass(frozen=True)
+class DDR3PowerParameters:
+    """IDD current classes (mA) and supply voltage for one device.
+
+    Values follow a Micron DDR3-1600 4 Gb x8 datasheet (the device the
+    paper's Table 1 cites [57]).
+    """
+
+    vdd: float = 1.5
+    idd0_ma: float = 55.0    # one-bank ACT->PRE cycling
+    idd2n_ma: float = 32.0   # precharged standby
+    idd3n_ma: float = 38.0   # active standby
+    idd4r_ma: float = 157.0  # burst read
+    idd4w_ma: float = 128.0  # burst write
+    idd5b_ma: float = 210.0  # burst refresh
+    chips_per_rank: int = 8
+
+    def validate(self) -> None:
+        if self.idd3n_ma < self.idd2n_ma:
+            raise ValueError("IDD3N must be >= IDD2N")
+        if self.idd0_ma <= 0 or self.vdd <= 0 or self.chips_per_rank < 1:
+            raise ValueError("currents/voltage/chips must be positive")
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-component DRAM energy for one run, in picojoules."""
+
+    act_pre_pj: float
+    read_pj: float
+    write_pj: float
+    refresh_pj: float
+    background_active_pj: float
+    background_precharged_pj: float
+    mechanism_pj: float = 0.0
+
+    @property
+    def background_pj(self) -> float:
+        return self.background_active_pj + self.background_precharged_pj
+
+    @property
+    def total_pj(self) -> float:
+        return (self.act_pre_pj + self.read_pj + self.write_pj
+                + self.refresh_pj + self.background_pj + self.mechanism_pj)
+
+    @property
+    def total_mj(self) -> float:
+        return self.total_pj * 1e-9
+
+    def as_dict(self) -> dict:
+        return {
+            "act_pre_pj": self.act_pre_pj,
+            "read_pj": self.read_pj,
+            "write_pj": self.write_pj,
+            "refresh_pj": self.refresh_pj,
+            "background_active_pj": self.background_active_pj,
+            "background_precharged_pj": self.background_precharged_pj,
+            "mechanism_pj": self.mechanism_pj,
+            "total_pj": self.total_pj,
+        }
+
+
+def _pj(current_ma: float, vdd: float, time_ns: float) -> float:
+    """mA * V * ns = pJ."""
+    return current_ma * vdd * time_ns
+
+
+def energy_components(activations: int, reads: int, writes: int,
+                      refreshes: int, rank_active_cycles: int,
+                      total_rank_cycles: int,
+                      timing: TimingParameters,
+                      power: DDR3PowerParameters = DDR3PowerParameters(),
+                      mechanism_pj: float = 0.0) -> EnergyBreakdown:
+    """Energy breakdown from raw counts (all ranks aggregated).
+
+    Args:
+        rank_active_cycles: sum over ranks of any-bank-open cycles.
+        total_rank_cycles: ranks * run-length cycles.
+    """
+    power.validate()
+    if rank_active_cycles > total_rank_cycles:
+        raise ValueError("active cycles exceed total rank cycles")
+    tck = timing.tCK_ns
+    chips = power.chips_per_rank
+    vdd = power.vdd
+
+    act_each = (power.idd0_ma * timing.tRC
+                - power.idd3n_ma * timing.tRAS
+                - power.idd2n_ma * timing.tRP) * vdd * tck
+    act_pre = max(0.0, act_each) * activations * chips
+
+    read = _pj(power.idd4r_ma - power.idd3n_ma, vdd,
+               reads * timing.tBL * tck) * chips
+    write = _pj(power.idd4w_ma - power.idd3n_ma, vdd,
+                writes * timing.tBL * tck) * chips
+    refresh = _pj(power.idd5b_ma - power.idd2n_ma, vdd,
+                  refreshes * timing.tRFC * tck) * chips
+
+    bg_active = _pj(power.idd3n_ma, vdd,
+                    rank_active_cycles * tck) * chips
+    bg_pre = _pj(power.idd2n_ma, vdd,
+                 (total_rank_cycles - rank_active_cycles) * tck) * chips
+
+    return EnergyBreakdown(act_pre, read, write, refresh, bg_active,
+                           bg_pre, mechanism_pj)
+
+
+def energy_for_run(result, timing: TimingParameters,
+                   power: DDR3PowerParameters = DDR3PowerParameters(),
+                   mechanism_power_w: float = 0.0) -> EnergyBreakdown:
+    """Energy breakdown for a :class:`repro.cpu.system.RunResult`.
+
+    ``mechanism_power_w`` is the average power of the latency
+    mechanism's hardware (e.g. ChargeCache's HCRAC from
+    :func:`repro.energy.mcpat.hcrac_overhead`), integrated over the run.
+    """
+    cfg = result.config
+    ranks = cfg.dram.channels * cfg.dram.ranks_per_channel
+    total_rank_cycles = ranks * result.mem_cycles
+    run_seconds = result.mem_cycles * timing.tCK_ns * 1e-9
+    mechanism_pj = mechanism_power_w * run_seconds * 1e12
+    return energy_components(
+        activations=result.activations,
+        reads=result.reads,
+        writes=result.writes,
+        refreshes=result.refreshes,
+        rank_active_cycles=result.rank_active_cycles,
+        total_rank_cycles=total_rank_cycles,
+        timing=timing,
+        power=power,
+        mechanism_pj=mechanism_pj,
+    )

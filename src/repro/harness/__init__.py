@@ -1,0 +1,53 @@
+"""Experiment harness: one driver per paper table/figure.
+
+Every experiment in the paper's evaluation can be regenerated with
+:mod:`repro.harness.experiments` (programmatic), the ``benchmarks/``
+pytest-benchmark suite, or the ``chargecache-harness`` CLI.
+"""
+
+from repro.harness.runner import (
+    Scale,
+    current_scale,
+    build_config,
+    run_workload,
+    run_mix,
+    alone_ipcs_for_mix,
+    clear_caches,
+)
+from repro.harness.experiments import (
+    run_fig3,
+    run_fig4,
+    run_fig6,
+    run_table2,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_sec63,
+    run_table1,
+)
+from repro.harness.report import format_table, format_percent
+
+__all__ = [
+    "Scale",
+    "current_scale",
+    "build_config",
+    "run_workload",
+    "run_mix",
+    "alone_ipcs_for_mix",
+    "clear_caches",
+    "run_fig3",
+    "run_fig4",
+    "run_fig6",
+    "run_table2",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_sec63",
+    "run_table1",
+    "format_table",
+    "format_percent",
+]

@@ -1,0 +1,91 @@
+"""Command-line entry point: ``chargecache-harness <experiment>``.
+
+Examples::
+
+    chargecache-harness table2
+    chargecache-harness fig7a --scale 0.5
+    chargecache-harness fig7b --workloads w1 w2 w3
+    chargecache-harness all --json results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.harness import experiments
+from repro.harness.report import render_experiment
+from repro.harness.runner import current_scale
+
+#: Experiment name -> callable(workloads, scale) -> result dict.
+_EXPERIMENTS = {
+    "fig3a": lambda w, s: experiments.run_fig3("single", w, s),
+    "fig3b": lambda w, s: experiments.run_fig3("eight", w, s),
+    "fig4a": lambda w, s: experiments.run_fig4("single", w, scale=s),
+    "fig4b": lambda w, s: experiments.run_fig4("eight", w, scale=s),
+    "fig6": lambda w, s: experiments.run_fig6(),
+    "table2": lambda w, s: experiments.run_table2(),
+    "fig7a": lambda w, s: experiments.run_fig7("single", w, scale=s),
+    "fig7b": lambda w, s: experiments.run_fig7("eight", w, scale=s),
+    "fig8": lambda w, s: experiments.run_fig8(workloads=w, scale=s),
+    "fig9": lambda w, s: experiments.run_fig9(workloads=w, scale=s),
+    "fig10": lambda w, s: experiments.run_fig10(workloads=w, scale=s),
+    "fig11": lambda w, s: experiments.run_fig11(workloads=w, scale=s),
+    "sec63": lambda w, s: experiments.run_sec63(scale=s),
+    "table1": lambda w, s: experiments.run_table1(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chargecache-harness",
+        description="Regenerate the ChargeCache paper's tables/figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(_EXPERIMENTS) + ["all"],
+                        help="which artifact to regenerate")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help="restrict to these workloads/mixes")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="instruction-budget multiplier")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also dump raw results as JSON")
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also write one CSV per experiment to DIR")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = current_scale()
+    if args.scale:
+        scale = scale.scaled(args.scale)
+
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    results: Dict[str, Dict] = {}
+    for name in names:
+        result = _EXPERIMENTS[name](args.workloads, scale)
+        results[name] = result
+        print(render_experiment(result))
+        print()
+
+    if args.json:
+        with open(args.json, "w", encoding="ascii") as fh:
+            json.dump(results, fh, indent=2, default=str)
+        print(f"raw results written to {args.json}", file=sys.stderr)
+
+    if args.csv:
+        import os
+        from repro.harness.export import write_csv
+        os.makedirs(args.csv, exist_ok=True)
+        for name, result in results.items():
+            path = os.path.join(args.csv, f"{name}.csv")
+            write_csv(result, path)
+        print(f"CSV files written to {args.csv}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""ASCII rendering of experiment results (harness + CLI output)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Simple fixed-width table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(v) for v in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_experiment(result: Dict) -> str:
+    """Render any experiment dict produced by repro.harness.experiments."""
+    exp_id = result.get("id", "experiment")
+    renderer = _RENDERERS.get(exp_id.rstrip("ab"), _render_generic)
+    return renderer(result)
+
+
+def _render_generic(result: Dict) -> str:
+    rows = result.get("rows")
+    if not rows:
+        return str(result)
+    first = rows[0]
+    headers = list(first)
+    table_rows = [[row.get(h, "") for h in headers] for row in rows]
+    return format_table(headers, table_rows, title=result.get("id"))
+
+
+def _render_fig6(result: Dict) -> str:
+    lines = [f"fig6: bitline transients "
+             f"(model tRCD headroom {result['trcd_reduction_ns']:.2f} ns, "
+             f"tRAS headroom {result['tras_reduction_ns']:.2f} ns; "
+             f"paper: 4.5 / 9.6 ns)"]
+    for label in ("full", "partial"):
+        curve = result[label]
+        lines.append(f"  {label}: ready {curve['ready_ns']:.2f} ns, "
+                     f"restore {curve['restore_ns']:.2f} ns")
+    lines.append("  time_ns  full_V  partial_V")
+    full = dict(result["full"]["curve"])
+    partial = dict(result["partial"]["curve"])
+    for t in sorted(set(full) | set(partial))[:25]:
+        fv = full.get(t, "")
+        pv = partial.get(t, "")
+        lines.append(f"  {t:7} {_fmt(fv):>7} {_fmt(pv):>9}")
+    return "\n".join(lines)
+
+
+def _render_sec63(result: Dict) -> str:
+    paper = result["paper"]
+    rows = [
+        ("storage (bytes)", result["storage_bytes"],
+         paper["storage_bytes"]),
+        ("area (mm^2)", round(result["area_mm2"], 4), paper["area_mm2"]),
+        ("area / LLC", format_percent(result["area_fraction_of_llc"], 2),
+         format_percent(paper["area_fraction_of_llc"], 2)),
+        ("avg power (mW)", round(result["average_power_mw"], 3),
+         paper["average_power_mw"]),
+        ("power / LLC", format_percent(result["power_fraction_of_llc"], 2),
+         format_percent(paper["power_fraction_of_llc"], 2)),
+    ]
+    return format_table(("metric", "measured", "paper"), rows,
+                        title="sec6.3: ChargeCache hardware overhead")
+
+
+_RENDERERS = {
+    "fig6": _render_fig6,
+    "sec6.3": _render_sec63,
+}

@@ -1,0 +1,263 @@
+"""Run management for the experiment harness.
+
+Centralises:
+
+* **Scaling** - the paper simulates 1B instructions per core; a Python
+  simulator cannot.  :class:`Scale` holds the instruction budgets and
+  the time-scale used for RLTL intervals and ChargeCache invalidation
+  pacing (see DESIGN.md).  The environment variables ``REPRO_SCALE``
+  (float multiplier on instruction budgets) and ``REPRO_FULL=1``
+  (8x budgets) adjust every experiment uniformly.
+* **Config construction** - the paper's single-core (1 channel,
+  open-row) and eight-core (2 channels, closed-row) systems.
+* **Run caching** - results are memoised per (workload, mechanism,
+  parameters); weighted speedup needs each application's alone-IPC,
+  which would otherwise be recomputed by every experiment.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.config import (
+    ChargeCacheConfig,
+    SimulationConfig,
+    eight_core_config,
+    single_core_config,
+)
+from repro.circuit.latency_tables import reductions_for_duration_ms
+from repro.cpu.system import RunResult, System
+from repro.dram.organization import Organization
+from repro.stats.metrics import weighted_speedup
+from repro.workloads.mixes import make_mix_traces, mix_composition
+from repro.workloads.spec_like import make_trace
+
+#: Time-scale for RLTL interval analysis (DESIGN.md).
+DEFAULT_TIME_SCALE = 64.0
+
+#: Time-scale for ChargeCache invalidation pacing.  Deliberately much
+#: smaller than the RLTL scale: the paper's physical 1 ms duration is
+#: ~800k bus cycles, far above any row-reuse gap, so invalidation has
+#: almost no effect on hit rates (Figure 11 shows ~2% single-core,
+#: ~0% eight-core).  Scaling the duration all the way down to run
+#: length would push it *below* eight-core reuse gaps and invert the
+#: paper's single-vs-eight hit-rate relationship; a factor of 8 keeps
+#: the sweep meaningful while preserving the duration >> reuse-gap
+#: regime.
+DEFAULT_CC_TIME_SCALE = 8.0
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Instruction budgets for scaled-down runs."""
+
+    single_core_instructions: int = 60_000
+    multi_core_instructions: int = 30_000
+    warmup_cpu_cycles: int = 25_000
+    max_mem_cycles: int = 30_000_000
+    time_scale: float = DEFAULT_TIME_SCALE
+    cc_time_scale: float = DEFAULT_CC_TIME_SCALE
+
+    def scaled(self, factor: float) -> "Scale":
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            single_core_instructions=max(1000, int(
+                self.single_core_instructions * factor)),
+            multi_core_instructions=max(1000, int(
+                self.multi_core_instructions * factor)),
+        )
+
+
+def current_scale() -> Scale:
+    """The scale selected by environment variables."""
+    scale = Scale()
+    if os.environ.get("REPRO_FULL", "") == "1":
+        scale = scale.scaled(8.0)
+    factor = os.environ.get("REPRO_SCALE")
+    if factor:
+        scale = scale.scaled(float(factor))
+    return scale
+
+
+# ----------------------------------------------------------------------
+# Config construction
+# ----------------------------------------------------------------------
+
+def build_config(mode: str, mechanism: str, scale: Optional[Scale] = None,
+                 cc_entries: Optional[int] = None,
+                 cc_duration_ms: Optional[float] = None,
+                 cc_sharing: Optional[str] = None,
+                 cc_unbounded: bool = False,
+                 row_policy: Optional[str] = None) -> SimulationConfig:
+    """A paper-faithful configuration for one run.
+
+    ``mode`` is "single" (1 core, 1 channel, open-row) or "eight"
+    (8 cores, 2 channels, closed-row).  ChargeCache knobs cover the
+    capacity (Fig. 9/10) and caching-duration (Fig. 11) sweeps; the
+    duration also selects the matching timing reductions from the
+    paper's Table 2 derating.
+    """
+    scale = scale or current_scale()
+    if mode == "single":
+        cfg = single_core_config(mechanism)
+        instructions = scale.single_core_instructions
+    elif mode == "eight":
+        cfg = eight_core_config(mechanism)
+        instructions = scale.multi_core_instructions
+    else:
+        raise ValueError(f"unknown mode {mode!r}; use 'single' or 'eight'")
+
+    cc = cfg.chargecache
+    duration = cc_duration_ms if cc_duration_ms is not None \
+        else cc.caching_duration_ms
+    trcd_red, tras_red = reductions_for_duration_ms(duration)
+    cc = ChargeCacheConfig(
+        entries=cc_entries if cc_entries is not None else cc.entries,
+        associativity=cc.associativity,
+        caching_duration_ms=duration,
+        trcd_reduction_cycles=trcd_red,
+        tras_reduction_cycles=tras_red,
+        sharing=cc_sharing if cc_sharing is not None else cc.sharing,
+        unbounded=cc_unbounded,
+        time_scale=scale.cc_time_scale,
+    )
+    cfg = replace(cfg, chargecache=cc,
+                  instruction_limit=instructions,
+                  warmup_cpu_cycles=scale.warmup_cpu_cycles)
+    if row_policy is not None:
+        cfg = replace(cfg, controller=replace(cfg.controller,
+                                              row_policy=row_policy))
+    cfg.validate()
+    return cfg
+
+
+# ----------------------------------------------------------------------
+# Cached runs
+# ----------------------------------------------------------------------
+
+_run_cache: Dict[Tuple, RunResult] = {}
+
+
+def clear_caches() -> None:
+    """Drop memoised run results (tests use this for isolation)."""
+    _run_cache.clear()
+
+
+def _cached(key: Tuple, factory) -> RunResult:
+    result = _run_cache.get(key)
+    if result is None:
+        result = factory()
+        _run_cache[key] = result
+    return result
+
+
+def run_workload(name: str, mechanism: str = "none",
+                 scale: Optional[Scale] = None,
+                 enable_rltl: bool = False,
+                 row_policy: Optional[str] = None,
+                 cc_entries: Optional[int] = None,
+                 cc_duration_ms: Optional[float] = None,
+                 cc_unbounded: bool = False,
+                 idle_finished: bool = False,
+                 seed: int = 1) -> RunResult:
+    """Run one workload on the single-core system (memoised)."""
+    scale = scale or current_scale()
+    key = ("single", name, mechanism, scale, enable_rltl, row_policy,
+           cc_entries, cc_duration_ms, cc_unbounded, idle_finished, seed)
+
+    def factory() -> RunResult:
+        cfg = build_config("single", mechanism, scale,
+                           cc_entries=cc_entries,
+                           cc_duration_ms=cc_duration_ms,
+                           cc_unbounded=cc_unbounded,
+                           row_policy=row_policy)
+        if idle_finished:
+            cfg = replace(cfg, idle_finished_cores=True)
+        org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
+        system = System(cfg, [make_trace(name, org, seed=seed)],
+                        enable_rltl=enable_rltl,
+                        rltl_time_scale=scale.time_scale)
+        return system.run(max_mem_cycles=scale.max_mem_cycles)
+
+    return _cached(key, factory)
+
+
+def run_mix(mix: str, mechanism: str = "none",
+            scale: Optional[Scale] = None,
+            enable_rltl: bool = False,
+            row_policy: Optional[str] = None,
+            cc_entries: Optional[int] = None,
+            cc_duration_ms: Optional[float] = None,
+            cc_unbounded: bool = False,
+            idle_finished: bool = False,
+            seed: int = 1) -> RunResult:
+    """Run one 8-core mix on the eight-core system (memoised)."""
+    scale = scale or current_scale()
+    key = ("eight", mix, mechanism, scale, enable_rltl, row_policy,
+           cc_entries, cc_duration_ms, cc_unbounded, idle_finished, seed)
+
+    def factory() -> RunResult:
+        cfg = build_config("eight", mechanism, scale,
+                           cc_entries=cc_entries,
+                           cc_duration_ms=cc_duration_ms,
+                           cc_unbounded=cc_unbounded,
+                           row_policy=row_policy)
+        if idle_finished:
+            cfg = replace(cfg, idle_finished_cores=True)
+        org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
+        system = System(cfg, make_mix_traces(mix, org, seed=seed),
+                        enable_rltl=enable_rltl,
+                        rltl_time_scale=scale.time_scale)
+        return system.run(max_mem_cycles=scale.max_mem_cycles)
+
+    return _cached(key, factory)
+
+
+def run_alone(name: str, scale: Optional[Scale] = None,
+              seed: int = 1) -> RunResult:
+    """One application alone on the eight-core platform (for WS)."""
+    scale = scale or current_scale()
+    key = ("alone", name, scale, seed)
+
+    def factory() -> RunResult:
+        cfg = eight_core_config("none")
+        cfg = replace(cfg,
+                      processor=replace(cfg.processor, num_cores=1),
+                      instruction_limit=scale.multi_core_instructions,
+                      warmup_cpu_cycles=scale.warmup_cpu_cycles)
+        org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
+        system = System(cfg, [make_trace(name, org, seed=seed)])
+        return system.run(max_mem_cycles=scale.max_mem_cycles)
+
+    return _cached(key, factory)
+
+
+def alone_ipcs_for_mix(mix: str, scale: Optional[Scale] = None,
+                       seed: int = 1) -> List[float]:
+    """Alone-IPC of each application in a mix (shared cache)."""
+    ipcs = []
+    for core_id, name in enumerate(mix_composition(mix)):
+        # The alone run does not depend on core placement, so seed it
+        # the way run_mix seeds core 0 for reproducibility.
+        del core_id
+        ipcs.append(run_alone(name, scale, seed=seed).total_ipc)
+    return ipcs
+
+
+def mix_weighted_speedup(mix: str, mechanism: str,
+                         scale: Optional[Scale] = None,
+                         seed: int = 1, **kwargs) -> float:
+    """Weighted speedup of one mix under a mechanism."""
+    shared = run_mix(mix, mechanism, scale, seed=seed, **kwargs)
+    alone = alone_ipcs_for_mix(mix, scale, seed=seed)
+    return weighted_speedup(shared.ipcs, alone)
+
+
+def geometric_like_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (the paper averages speedups arithmetically)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,26 @@
+"""Statistics: counters, the RLTL profiler and evaluation metrics."""
+
+from repro.stats.collector import StatsCollector
+from repro.stats.probes import CompositeProbe
+from repro.stats.reuse import RowReuseProfiler
+from repro.stats.rltl import RLTLProbe, RLTL_INTERVALS_MS
+from repro.stats.metrics import (
+    ipc,
+    weighted_speedup,
+    speedup,
+    rmpkc,
+    geometric_mean,
+)
+
+__all__ = [
+    "StatsCollector",
+    "CompositeProbe",
+    "RowReuseProfiler",
+    "RLTLProbe",
+    "RLTL_INTERVALS_MS",
+    "ipc",
+    "weighted_speedup",
+    "speedup",
+    "rmpkc",
+    "geometric_mean",
+]

@@ -1,0 +1,48 @@
+"""A small named-counter collector used by the harness to aggregate
+per-run statistics into flat, serialisable dictionaries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Mapping
+
+
+class StatsCollector:
+    """Flat named counters/gauges with prefix grouping."""
+
+    def __init__(self):
+        self._counters: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        self._counters[name] += value
+
+    def set(self, name: str, value: float) -> None:
+        self._counters[name] = value
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._counters.get(name, default)
+
+    def update(self, values: Mapping[str, float], prefix: str = "") -> None:
+        for name, value in values.items():
+            self._counters[prefix + name] = value
+
+    def with_prefix(self, prefix: str) -> Dict[str, float]:
+        return {name: value for name, value in self._counters.items()
+                if name.startswith(prefix)}
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    def names(self) -> Iterable[str]:
+        return self._counters.keys()
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        den = self._counters.get(denominator, 0.0)
+        return self._counters.get(numerator, 0.0) / den if den else 0.0
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __len__(self) -> int:
+        return len(self._counters)

@@ -1,0 +1,40 @@
+"""Probe composition for controller activation/precharge hooks.
+
+The memory controller accepts a single probe object with
+``on_activate``/``on_precharge``/``reset`` methods; a
+:class:`CompositeProbe` fans those calls out so the RLTL profiler and
+the row-reuse profiler (or any custom observer) can watch one run
+simultaneously.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+class CompositeProbe:
+    """Broadcasts controller events to several probes."""
+
+    def __init__(self, probes: Iterable):
+        self.probes: List = list(probes)
+        if not self.probes:
+            raise ValueError("need at least one probe")
+
+    def on_activate(self, channel: int, rank: int, bank: int, row: int,
+                    cycle: int) -> None:
+        for probe in self.probes:
+            probe.on_activate(channel, rank, bank, row, cycle)
+
+    def on_precharge(self, channel: int, rank: int, bank: int, row: int,
+                     cycle: int) -> None:
+        for probe in self.probes:
+            probe.on_precharge(channel, rank, bank, row, cycle)
+
+    def reset(self) -> None:
+        for probe in self.probes:
+            reset = getattr(probe, "reset", None)
+            if reset is not None:
+                reset()
+
+    def __iter__(self):
+        return iter(self.probes)

@@ -1,0 +1,60 @@
+"""The 20 multiprogrammed 8-core workloads (paper Section 5).
+
+"For multi-core evaluations, we use 20 multi-programmed workloads by
+assigning a randomly-chosen application to each core."  The draw is
+seeded so w1..w20 are stable across runs and machines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from repro.cpu.trace import TraceRecord
+from repro.workloads.spec_like import WORKLOAD_NAMES, make_trace
+
+#: Seed fixing the composition of the 20 mixes.
+MIX_SEED = 2016  # the paper's publication year, for memorability
+
+MIX_NAMES = tuple(f"w{i}" for i in range(1, 21))
+
+
+def _compositions(num_cores: int = 8) -> Dict[str, List[str]]:
+    rng = np.random.default_rng(MIX_SEED)
+    names = list(WORKLOAD_NAMES)
+    mixes = {}
+    for mix in MIX_NAMES:
+        picks = rng.integers(0, len(names), size=num_cores)
+        mixes[mix] = [names[i] for i in picks]
+    return mixes
+
+
+_COMPOSITIONS = _compositions()
+
+
+def mix_composition(mix: str) -> List[str]:
+    """The 8 workload names assigned to the cores of ``mix``."""
+    try:
+        return list(_COMPOSITIONS[mix])
+    except KeyError:
+        raise KeyError(
+            f"unknown mix {mix!r}; known: {MIX_NAMES}") from None
+
+
+def make_mix_traces(mix: str, org, seed: int = 1
+                    ) -> List[Iterator[TraceRecord]]:
+    """Build the 8 per-core traces of ``mix``.
+
+    Each core gets an independent RNG stream even when two cores run
+    the same application.
+    """
+    traces = []
+    for core_id, name in enumerate(mix_composition(mix)):
+        traces.append(make_trace(name, org, seed=seed + 7919 * core_id))
+    return traces
+
+
+def all_compositions() -> Dict[str, List[str]]:
+    """Mapping of every mix to its application list (for reports)."""
+    return {mix: list(apps) for mix, apps in _COMPOSITIONS.items()}

@@ -1,0 +1,104 @@
+"""Trace-file workloads and trace analysis utilities.
+
+Bridges the synthetic generators and the file-based workflow the
+paper's setup used (Pin traces replayed by Ramulator):
+
+* :func:`generate_trace_file` - materialise N records of any named
+  profile into a portable trace file.
+* :func:`trace_file_workload` - an infinite, looped iterator over a
+  trace file, directly usable as a :class:`System` core trace.
+* :func:`analyze_trace` - quick profile of a record stream (footprint,
+  write share, intensity, dependence), for sanity-checking external
+  traces before simulation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+from repro.cpu.trace import (
+    TraceRecord,
+    looped,
+    read_trace_file,
+    write_trace_file,
+)
+from repro.workloads.spec_like import make_trace
+
+
+def generate_trace_file(path: str, workload: str, org,
+                        num_records: int, seed: int = 1) -> int:
+    """Write ``num_records`` records of a named profile to ``path``."""
+    if num_records < 1:
+        raise ValueError("num_records must be >= 1")
+    trace = make_trace(workload, org, seed=seed)
+    return write_trace_file(path,
+                            itertools.islice(trace, num_records))
+
+
+def trace_file_workload(path: str) -> Iterator[TraceRecord]:
+    """Endless core trace backed by a trace file (loops at EOF)."""
+    records = read_trace_file(path)
+    if not records:
+        raise ValueError(f"trace file {path} contains no records")
+    return looped(records)
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate statistics of a trace (see :func:`analyze_trace`)."""
+
+    records: int
+    instructions: int
+    distinct_lines: int
+    write_fraction: float
+    dependent_fraction: float
+    mean_bubbles: float
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.distinct_lines * 64
+
+    @property
+    def accesses_per_kilo_instruction(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return self.records * 1000.0 / self.instructions
+
+
+def analyze_trace(records: Iterable[TraceRecord],
+                  limit: int = 1_000_000) -> TraceSummary:
+    """Summarise up to ``limit`` records of a trace."""
+    lines = set()
+    writes = 0
+    dependents = 0
+    bubbles = 0
+    count = 0
+    for record in itertools.islice(records, limit):
+        count += 1
+        lines.add(record.line_address)
+        bubbles += record.bubbles
+        if record.is_write:
+            writes += 1
+        if record.dependent:
+            dependents += 1
+    if not count:
+        raise ValueError("empty trace")
+    return TraceSummary(
+        records=count,
+        instructions=bubbles + count,
+        distinct_lines=len(lines),
+        write_fraction=writes / count,
+        dependent_fraction=dependents / count,
+        mean_bubbles=bubbles / count,
+    )
+
+
+def summarize_file(path: str, limit: int = 1_000_000) -> TraceSummary:
+    return analyze_trace(read_trace_file(path), limit=limit)
+
+
+def records_head(path: str, n: int = 10) -> List[TraceRecord]:
+    """First ``n`` records of a trace file (inspection helper)."""
+    return read_trace_file(path)[:n]

@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    ChargeCacheConfig,
+    ControllerConfig,
+    DRAMConfig,
+    ProcessorConfig,
+    SimulationConfig,
+)
+from repro.dram.organization import Organization
+from repro.dram.timing import DDR3_1600
+
+
+@pytest.fixture
+def timing():
+    return DDR3_1600
+
+
+@pytest.fixture
+def small_org():
+    """A small organization so tests can sweep entire address spaces."""
+    return Organization(channels=1, ranks=1, banks=4, rows=64, columns=8)
+
+
+@pytest.fixture
+def paper_org():
+    """The paper's single-channel organization."""
+    return Organization(channels=1, ranks=1, banks=8, rows=64 * 1024,
+                        columns=128)
+
+
+def tiny_config(mechanism: str = "none", num_cores: int = 1,
+                channels: int = 1, instruction_limit: int = 3000,
+                warmup: int = 1000, row_policy: str = "open",
+                **cc_kwargs) -> SimulationConfig:
+    """A configuration small and fast enough for unit tests.
+
+    Uses a 64 KB LLC so DRAM traffic appears quickly, and a reduced
+    DRAM geometry to keep footprints small.
+    """
+    cc = ChargeCacheConfig(time_scale=512.0, **cc_kwargs)
+    cfg = SimulationConfig(
+        processor=ProcessorConfig(num_cores=num_cores),
+        cache=CacheConfig(size_bytes=64 * 1024, associativity=4),
+        dram=DRAMConfig(channels=channels, rows_per_bank=4096),
+        controller=ControllerConfig(row_policy=row_policy),
+        chargecache=cc,
+        mechanism=mechanism,
+        instruction_limit=instruction_limit,
+        warmup_cpu_cycles=warmup,
+    )
+    cfg.validate()
+    return cfg

@@ -1,0 +1,83 @@
+"""Unit tests for request queues."""
+
+import pytest
+
+from repro.controller.queues import RequestQueue
+from repro.controller.request import read_request, write_request
+
+
+class TestCapacity:
+    def test_push_until_full(self):
+        q = RequestQueue(2)
+        assert q.push(read_request(1), 0)
+        assert q.push(read_request(2), 0)
+        assert q.is_full
+        assert not q.push(read_request(3), 0)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RequestQueue(0)
+
+
+class TestOrdering:
+    def test_iteration_is_arrival_order(self):
+        q = RequestQueue(8)
+        for line in (5, 3, 9):
+            q.push(read_request(line), 0)
+        assert [r.line_address for r in q] == [5, 3, 9]
+
+    def test_remove_preserves_order(self):
+        q = RequestQueue(8)
+        reqs = [read_request(i) for i in range(3)]
+        for r in reqs:
+            q.push(r, 0)
+        q.remove(reqs[1])
+        assert [r.line_address for r in q] == [0, 2]
+
+
+class TestIndexing:
+    def test_find_line(self):
+        q = RequestQueue(8)
+        req = write_request(7)
+        q.push(req, 0)
+        assert q.find_line(7) is req
+        assert q.find_line(8) is None
+
+    def test_coalesce_write(self):
+        q = RequestQueue(8)
+        q.push(write_request(7), 0)
+        assert q.coalesce_write(7)
+        assert q.coalesced == 1
+        assert not q.coalesce_write(8)
+
+    def test_read_does_not_coalesce(self):
+        q = RequestQueue(8)
+        q.push(read_request(7), 0)
+        assert not q.coalesce_write(7)
+
+    def test_requests_for_row(self):
+        q = RequestQueue(8)
+        a, b = read_request(1), read_request(2)
+        a.rank, a.bank, a.row = 0, 1, 42
+        b.rank, b.bank, b.row = 0, 1, 42
+        q.push(a, 0)
+        q.push(b, 0)
+        assert q.requests_for_row(0, 1, 42) == 2
+        assert q.requests_for_row(0, 1, 43) == 0
+
+
+class TestStats:
+    def test_enqueue_cycle_recorded(self):
+        q = RequestQueue(4)
+        req = read_request(1)
+        q.push(req, 77)
+        assert req.enqueue_cycle == 77
+
+    def test_occupancy_sampling(self):
+        q = RequestQueue(4)
+        q.push(read_request(1), 0)
+        q.sample_occupancy()
+        q.push(read_request(2), 0)
+        q.sample_occupancy()
+        assert q.average_occupancy == pytest.approx(1.5)
+        assert q.occupancy_fraction() == pytest.approx(0.5)

@@ -1,0 +1,174 @@
+"""Unit tests for the trace-driven core model."""
+
+import pytest
+
+from repro.cpu.core import (
+    BLOCK_DEP,
+    BLOCK_MSHR,
+    BLOCK_NONE,
+    BLOCK_REJECT,
+    BLOCK_WINDOW,
+    Core,
+)
+from repro.cpu.trace import TraceRecord, looped, trace_from_tuples
+
+
+class Memory:
+    """Scriptable memory-system stub."""
+
+    def __init__(self, accept=True):
+        self.accept = accept
+        self.issued = []
+
+    def __call__(self, core_id, line, is_write, token):
+        if not self.accept:
+            return False
+        self.issued.append((line, is_write, token))
+        return True
+
+
+def make_core(records, memory=None, **kwargs):
+    memory = memory or Memory()
+    core = Core(0, looped(records), memory.issue
+                if hasattr(memory, "issue") else memory, **kwargs)
+    return core, memory
+
+
+class TestBubbleDispatch:
+    def test_issue_width_limits_rate(self):
+        records = trace_from_tuples([(300, 0x1, False)])
+        core, _ = make_core(records, instruction_limit=300)
+        core.run_until(50)
+        # 3-wide: 50 cycles -> at most 150 instructions.
+        assert core.dispatched == 150
+
+    def test_ipc_of_pure_compute_is_issue_width(self):
+        records = trace_from_tuples([(3000, 0x1, False)])
+        core, _ = make_core(records, instruction_limit=900)
+        core.run_until(301)
+        assert core.finished
+        assert core.ipc() == pytest.approx(3.0, rel=0.05)
+
+
+class TestLoads:
+    def test_load_issued_to_memory(self):
+        records = trace_from_tuples([(1, 0x10, False),
+                                     (100_000, 0x11, False)])
+        core, mem = make_core(records)
+        core.run_until(5)
+        assert mem.issued and mem.issued[0][0] == 0x10
+        assert core.mshr_used == 1
+
+    def test_mshr_limit_blocks(self):
+        records = trace_from_tuples([(0, i, False) for i in range(10)])
+        core, mem = make_core(records, mshrs=8)
+        core.run_until(20)
+        assert core.mshr_used == 8
+        assert core.block_reason == BLOCK_MSHR
+
+    def test_completion_frees_mshr_and_unblocks(self):
+        records = trace_from_tuples([(0, i, False) for i in range(10)])
+        core, mem = make_core(records, mshrs=8)
+        core.run_until(20)
+        token = mem.issued[0][2]
+        core.on_load_complete(token)
+        assert core.mshr_used == 7
+        assert core.block_reason == BLOCK_NONE
+
+    def test_unknown_token_rejected(self):
+        records = trace_from_tuples([(0, 1, False)])
+        core, _ = make_core(records)
+        core.run_until(5)
+        with pytest.raises(KeyError):
+            core.on_load_complete(999)
+
+
+class TestWindow:
+    def test_window_fills_behind_incomplete_load(self):
+        records = trace_from_tuples([(0, 0x10, False), (1000, 0x11, False)])
+        core, mem = make_core(records, window_size=16)
+        core.run_until(100)
+        # Load never completes: at most window_size instructions in
+        # flight behind it.
+        assert core.window_occupancy == 16
+        assert core.block_reason == BLOCK_WINDOW
+
+    def test_retirement_barrier(self):
+        records = trace_from_tuples([(0, 0x10, False), (1000, 0x11, False)])
+        core, mem = make_core(records, window_size=16)
+        core.run_until(100)
+        assert core.retired == 0  # everything waits on the load
+        core.on_load_complete(mem.issued[0][2])
+        assert core.retired == core.dispatched
+
+
+class TestDependentLoads:
+    def test_dependent_load_serialises(self):
+        records = trace_from_tuples([
+            (0, 0x10, False, True),
+            (0, 0x11, False, True),
+        ])
+        core, mem = make_core(records)
+        core.run_until(50)
+        assert len(mem.issued) == 1  # second waits for first
+        assert core.block_reason == BLOCK_DEP
+        core.on_load_complete(mem.issued[0][2])
+        core.run_until(51)
+        assert len(mem.issued) == 2
+
+
+class TestStores:
+    def test_store_does_not_use_mshr(self):
+        records = trace_from_tuples([(0, i, True) for i in range(20)])
+        core, mem = make_core(records, instruction_limit=10)
+        core.run_until(30)
+        assert core.mshr_used == 0
+        assert core.stores_issued >= 10
+
+    def test_store_retires_immediately(self):
+        records = trace_from_tuples([(0, 1, True), (5, 2, False)])
+        core, _ = make_core(records)
+        core.run_until(3)
+        assert core.retired >= 1
+
+
+class TestRejection:
+    def test_rejected_access_blocks_then_retries(self):
+        records = trace_from_tuples([(0, 0x10, False)])
+        mem = Memory(accept=False)
+        core, _ = make_core(records, memory=mem)
+        core.run_until(10)
+        assert core.block_reason == BLOCK_REJECT
+        mem.accept = True
+        core.retry_rejected()
+        core.run_until(12)
+        assert mem.issued
+
+
+class TestAccounting:
+    def test_finish_freezes_ipc(self):
+        records = trace_from_tuples([(299, 0x1, False)])
+        core, mem = make_core(records, instruction_limit=300)
+        core.run_until(100)
+        token = mem.issued[0][2]
+        core.on_load_complete(token)
+        core.run_until(200)
+        assert core.finished
+        ipc_at_finish = core.ipc()
+        core.run_until(500)
+        assert core.ipc() == ipc_at_finish
+
+    def test_reset_stats_restarts_accounting(self):
+        records = trace_from_tuples([(3000, 0x1, False)])
+        core, _ = make_core(records, instruction_limit=600)
+        core.run_until(100)
+        core.reset_stats(100)
+        assert core.retired_since_reset == 0
+        core.run_until(301)
+        assert core.finished
+        assert core.ipc() == pytest.approx(3.0, rel=0.05)
+
+    def test_exhausted_trace_raises(self):
+        core = Core(0, iter([TraceRecord(1, 1, False)]), Memory())
+        with pytest.raises(RuntimeError, match="exhausted"):
+            core.run_until(100)

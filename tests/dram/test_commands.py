@@ -1,0 +1,53 @@
+"""Unit tests for the DRAM command vocabulary."""
+
+from repro.dram.commands import (
+    COMMAND_SCOPE,
+    Command,
+    CommandKind,
+    IssuedCommand,
+)
+
+
+class TestCommandProperties:
+    def test_column_commands(self):
+        assert Command.RD.is_column
+        assert Command.WR.is_column
+        assert not Command.ACT.is_column
+        assert not Command.REF.is_column
+
+    def test_row_commands(self):
+        assert Command.ACT.is_row
+        assert Command.PRE.is_row
+        assert Command.PREA.is_row
+        assert not Command.RD.is_row
+
+    def test_scope_table_complete(self):
+        assert set(COMMAND_SCOPE) == set(Command)
+
+    def test_bank_scoped(self):
+        for cmd in (Command.ACT, Command.PRE, Command.RD, Command.WR):
+            assert COMMAND_SCOPE[cmd] is CommandKind.BANK
+
+    def test_rank_scoped(self):
+        for cmd in (Command.PREA, Command.REF):
+            assert COMMAND_SCOPE[cmd] is CommandKind.RANK
+
+
+class TestIssuedCommand:
+    def test_fields_and_defaults(self):
+        cmd = IssuedCommand(Command.ACT, 100, channel=0, rank=0, bank=3,
+                            row=42, reduced=True)
+        assert cmd.cycle == 100
+        assert cmd.reduced
+
+    def test_rank_scope_defaults(self):
+        cmd = IssuedCommand(Command.REF, 5, channel=1, rank=0)
+        assert cmd.bank == -1
+        assert cmd.row == -1
+
+    def test_frozen(self):
+        import dataclasses
+        import pytest
+        cmd = IssuedCommand(Command.PRE, 1, 0, 0, 0, 7)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cmd.cycle = 2

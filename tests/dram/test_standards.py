@@ -1,0 +1,80 @@
+"""Tests for other-standard presets (paper Section 7.2)."""
+
+import pytest
+
+from repro.config import DRAMConfig
+from repro.cpu.system import System
+from repro.dram.organization import Organization
+from repro.dram.standards import (
+    DDR4_2400,
+    GDDR5_4000,
+    LPDDR3_1600,
+    PRESETS,
+    chargecache_reductions_for,
+    preset,
+)
+from repro.workloads.synthetic import stream_trace
+
+from tests.conftest import tiny_config
+
+
+class TestPresets:
+    def test_lookup(self):
+        assert preset("DDR4-2400") is DDR4_2400
+        with pytest.raises(KeyError):
+            preset("RLDRAM-3")  # incompatible by design (Section 7.2)
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_presets_validate(self, name):
+        preset(name).validate()
+
+    def test_clock_periods(self):
+        assert DDR4_2400.tCK_ns == pytest.approx(1 / 1.2)
+        assert LPDDR3_1600.tCK_ns == pytest.approx(1.25)
+        assert GDDR5_4000.tCK_ns == pytest.approx(0.5)
+
+    def test_trcd_in_nanoseconds_comparable(self):
+        """Core timings are similar in ns across standards (same cell
+        physics), even though cycle counts differ wildly."""
+        for timing in PRESETS.values():
+            assert 10.0 <= timing.cycles_to_ns(timing.tRCD) <= 20.0
+            assert 25.0 <= timing.cycles_to_ns(timing.tRAS) <= 45.0
+
+    def test_lpddr_refreshes_more_often(self):
+        assert LPDDR3_1600.tREFI < PRESETS["DDR3-1600"].tREFI
+
+
+class TestReductions:
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_reductions_positive_and_legal(self, name):
+        timing = preset(name)
+        reduced = chargecache_reductions_for(timing)
+        assert 1 <= reduced.trcd < timing.tRCD
+        assert 1 <= reduced.tras < timing.tRAS
+
+    def test_same_physics_different_cycles(self):
+        """~5 ns of tRCD headroom is more cycles on a faster bus."""
+        ddr3 = preset("DDR3-1600")
+        gddr5 = preset("GDDR5-4000")
+        red3 = ddr3.tRCD - chargecache_reductions_for(ddr3).trcd
+        red5 = gddr5.tRCD - chargecache_reductions_for(gddr5).trcd
+        assert red5 > red3
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("name", ("DDR4-2400", "LPDDR3-1600"))
+    def test_chargecache_runs_on_other_standards(self, name):
+        timing = preset(name)
+        cfg = tiny_config(mechanism="chargecache", instruction_limit=2000)
+        # Match the config's bus frequency to the standard's.
+        from dataclasses import replace
+        cfg = replace(cfg, dram=DRAMConfig(channels=1, rows_per_bank=4096,
+                                           bus_freq_mhz=timing.freq_mhz))
+        org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
+        system = System(cfg, [stream_trace(org, 1 << 21, 8.0, seed=1,
+                                           num_streams=2)],
+                        timing=timing)
+        result = system.run(max_mem_cycles=600_000)
+        assert not result.truncated
+        assert result.mechanism_lookups > 0
+        assert result.mechanism_hits > 0

@@ -1,0 +1,111 @@
+"""Unit tests for the DRAM energy model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.energy.drampower import (
+    DDR3PowerParameters,
+    EnergyBreakdown,
+    energy_components,
+)
+from repro.dram.timing import DDR3_1600
+
+P = DDR3PowerParameters()
+
+
+def components(**kwargs):
+    defaults = dict(activations=0, reads=0, writes=0, refreshes=0,
+                    rank_active_cycles=0, total_rank_cycles=10_000,
+                    timing=DDR3_1600)
+    defaults.update(kwargs)
+    return energy_components(**defaults)
+
+
+class TestComponents:
+    def test_idle_run_is_pure_precharged_background(self):
+        e = components()
+        assert e.act_pre_pj == 0
+        assert e.read_pj == 0
+        assert e.background_precharged_pj > 0
+        expected = P.idd2n_ma * P.vdd * 10_000 * 1.25 * P.chips_per_rank
+        assert e.background_precharged_pj == pytest.approx(expected)
+
+    def test_each_activation_costs_energy(self):
+        one = components(activations=1)
+        two = components(activations=2)
+        delta = two.act_pre_pj - one.act_pre_pj
+        assert delta == pytest.approx(one.act_pre_pj)
+        assert delta > 0
+
+    def test_reads_cost_more_than_writes_per_burst(self):
+        # IDD4R > IDD4W in the datasheet values.
+        reads = components(reads=10).read_pj
+        writes = components(writes=10).write_pj
+        assert reads > writes > 0
+
+    def test_refresh_energy(self):
+        e = components(refreshes=3)
+        expected = (P.idd5b_ma - P.idd2n_ma) * P.vdd \
+            * 3 * DDR3_1600.tRFC * 1.25 * P.chips_per_rank
+        assert e.refresh_pj == pytest.approx(expected)
+
+    def test_active_standby_costs_more_than_precharged(self):
+        active = components(rank_active_cycles=10_000)
+        idle = components(rank_active_cycles=0)
+        assert active.total_pj > idle.total_pj
+
+    def test_mechanism_energy_included(self):
+        e = components(mechanism_pj=123.0)
+        assert e.mechanism_pj == 123.0
+        assert e.total_pj >= 123.0
+
+
+class TestValidation:
+    def test_active_exceeding_total_rejected(self):
+        with pytest.raises(ValueError):
+            components(rank_active_cycles=20_000)
+
+    def test_bad_power_parameters_rejected(self):
+        bad = DDR3PowerParameters(idd3n_ma=10.0, idd2n_ma=32.0)
+        with pytest.raises(ValueError):
+            components(power=bad)
+
+
+class TestBreakdown:
+    def test_total_is_sum_of_parts(self):
+        e = components(activations=5, reads=7, writes=3, refreshes=1,
+                       rank_active_cycles=500)
+        parts = (e.act_pre_pj + e.read_pj + e.write_pj + e.refresh_pj
+                 + e.background_active_pj + e.background_precharged_pj
+                 + e.mechanism_pj)
+        assert e.total_pj == pytest.approx(parts)
+
+    def test_as_dict_round_trip(self):
+        e = components(activations=5)
+        d = e.as_dict()
+        assert d["act_pre_pj"] == e.act_pre_pj
+        assert d["total_pj"] == e.total_pj
+
+    def test_total_mj(self):
+        e = EnergyBreakdown(1e9, 0, 0, 0, 0, 0)
+        assert e.total_mj == pytest.approx(1.0)
+
+
+class TestProperties:
+    @given(st.integers(0, 1000), st.integers(0, 1000),
+           st.integers(0, 1000), st.integers(0, 50),
+           st.integers(0, 10_000))
+    @settings(max_examples=100)
+    def test_energy_never_negative(self, acts, reads, writes, refs,
+                                   active):
+        e = components(activations=acts, reads=reads, writes=writes,
+                       refreshes=refs, rank_active_cycles=active)
+        for value in e.as_dict().values():
+            assert value >= 0
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=50)
+    def test_monotone_in_activations(self, acts):
+        a = components(activations=acts).total_pj
+        b = components(activations=acts + 1).total_pj
+        assert b > a

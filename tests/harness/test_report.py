@@ -1,0 +1,82 @@
+"""Tests for report rendering and the CLI plumbing."""
+
+import json
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.cli import build_parser, main
+from repro.harness.report import (
+    format_percent,
+    format_table,
+    render_experiment,
+)
+
+
+class TestFormatting:
+    def test_percent(self):
+        assert format_percent(0.086) == "8.6%"
+        assert format_percent(0.00235, digits=2) == "0.24%"
+
+    def test_table_alignment(self):
+        text = format_table(("a", "bb"), [(1, 2.5), (10, 0.125)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_table_title(self):
+        text = format_table(("x",), [(1,)], title="demo")
+        assert text.splitlines()[0] == "demo"
+
+
+class TestRenderers:
+    def test_generic_renderer(self):
+        result = {"id": "fig9", "rows": [
+            {"mode": "single", "entries": 128, "hit_rate": 0.38}]}
+        text = render_experiment(result)
+        assert "fig9" in text and "128" in text
+
+    def test_fig6_renderer(self):
+        text = render_experiment(experiments.run_fig6())
+        assert "tRCD headroom" in text
+        assert "paper: 4.5 / 9.6" in text
+
+    def test_sec63_renderer(self):
+        result = {
+            "id": "sec6.3", "storage_bytes": 5376, "area_mm2": 0.022,
+            "area_fraction_of_llc": 0.0024, "average_power_mw": 0.15,
+            "power_fraction_of_llc": 0.0023, "access_rate_per_s": 1e7,
+            "paper": {"storage_bytes": 5376, "area_mm2": 0.022,
+                      "area_fraction_of_llc": 0.0024,
+                      "average_power_mw": 0.149,
+                      "power_fraction_of_llc": 0.0023}}
+        text = render_experiment(result)
+        assert "5376" in text
+
+
+class TestCLI:
+    def test_parser_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["table2"])
+        assert args.experiment == "table2"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_main_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "paper_trcd_ns" in out
+
+    def test_main_json_dump(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert main(["fig6", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert "fig6" in data
+
+    def test_main_csv_dump(self, tmp_path, capsys):
+        out = tmp_path / "csvs"
+        assert main(["table2", "--csv", str(out)]) == 0
+        assert (out / "table2.csv").read_text().startswith("duration_ms")

@@ -1,0 +1,124 @@
+"""Tests for the independent command-log checker itself.
+
+The checker is load-bearing test infrastructure (the fuzzer and the
+integration suite trust it), so each violation class is exercised with
+a deliberately illegal hand-written stream.
+"""
+
+import pytest
+
+from repro.dram.commands import Command, IssuedCommand
+from repro.dram.timing import DDR3_1600
+
+from tests.helpers import CommandLogViolation, check_command_log
+
+T = DDR3_1600
+
+
+def act(cycle, bank=0, row=0, reduced=False):
+    return IssuedCommand(Command.ACT, cycle, 0, 0, bank, row,
+                         reduced=reduced)
+
+
+def pre(cycle, bank=0, row=0):
+    return IssuedCommand(Command.PRE, cycle, 0, 0, bank, row)
+
+
+def rd(cycle, bank=0):
+    return IssuedCommand(Command.RD, cycle, 0, 0, bank)
+
+
+def legal_open_read_close(start=0, bank=0, row=0):
+    t_act = start
+    t_rd = t_act + T.tRCD
+    t_pre = max(t_act + T.tRAS, t_rd + T.read_to_pre)
+    return [act(t_act, bank, row), rd(t_rd, bank), pre(t_pre, bank, row)]
+
+
+class TestAcceptsLegalStreams:
+    def test_basic_sequence(self):
+        assert check_command_log(legal_open_read_close(), T) == 3
+
+    def test_reduced_act_with_reduced_constraints(self):
+        log = [act(0, reduced=True), rd(T.tRCD - 4),
+               pre(T.tRAS - 8, row=0)]
+        assert check_command_log(log, T) == 3
+
+    def test_empty_log(self):
+        assert check_command_log([], T) == 0
+
+
+class TestCatchesViolations:
+    def test_same_cycle_commands(self):
+        log = [act(10, bank=0), act(10, bank=1)]
+        with pytest.raises(CommandLogViolation, match="one bus cycle"):
+            check_command_log(log, T)
+
+    def test_out_of_order_log(self):
+        log = [act(10), pre(5)]
+        with pytest.raises(CommandLogViolation, match="cycle order"):
+            check_command_log(log, T)
+
+    def test_trcd_violation(self):
+        log = [act(0), rd(T.tRCD - 1)]
+        with pytest.raises(CommandLogViolation, match="tRCD"):
+            check_command_log(log, T)
+
+    def test_reduced_act_held_to_reduced_trcd(self):
+        log = [act(0, reduced=True), rd(T.tRCD - 5)]
+        with pytest.raises(CommandLogViolation, match="tRCD"):
+            check_command_log(log, T)
+
+    def test_tras_violation(self):
+        log = [act(0), pre(T.tRAS - 1)]
+        with pytest.raises(CommandLogViolation, match="tRAS"):
+            check_command_log(log, T)
+
+    def test_trp_violation(self):
+        log = legal_open_read_close() + \
+            [act(legal_open_read_close()[-1].cycle + T.tRP - 1)]
+        with pytest.raises(CommandLogViolation, match="tRP"):
+            check_command_log(log, T)
+
+    def test_act_to_open_bank(self):
+        log = [act(0, row=1), act(T.tRRD, row=2)]
+        with pytest.raises(CommandLogViolation, match="open bank"):
+            check_command_log(log, T)
+
+    def test_pre_to_closed_bank(self):
+        with pytest.raises(CommandLogViolation, match="closed bank"):
+            check_command_log([pre(10)], T)
+
+    def test_column_to_closed_bank(self):
+        with pytest.raises(CommandLogViolation, match="closed bank"):
+            check_command_log([rd(10)], T)
+
+    def test_trrd_violation(self):
+        log = [act(0, bank=0), act(T.tRRD - 1, bank=1)]
+        with pytest.raises(CommandLogViolation, match="tRRD"):
+            check_command_log(log, T)
+
+    def test_tfaw_violation(self):
+        cycles = [i * T.tRRD for i in range(4)]
+        log = [act(c, bank=i) for i, c in enumerate(cycles)]
+        log.append(act(T.tFAW - 1, bank=4))
+        with pytest.raises(CommandLogViolation, match="tFAW"):
+            check_command_log(log, T)
+
+    def test_tccd_violation(self):
+        log = [act(0, bank=0), act(T.tRRD, bank=1),
+               rd(T.tRRD + T.tRCD, bank=1)]
+        log.append(rd(T.tRRD + T.tRCD + T.tCCD - 1, bank=0))
+        with pytest.raises(CommandLogViolation, match="tCCD"):
+            check_command_log(log, T)
+
+    def test_refresh_with_open_bank(self):
+        log = [act(0), IssuedCommand(Command.REF, T.tRAS + 5, 0, 0)]
+        with pytest.raises(CommandLogViolation, match="REF"):
+            check_command_log(log, T)
+
+    def test_trfc_violation(self):
+        log = [IssuedCommand(Command.REF, 0, 0, 0),
+               act(T.tRFC - 1)]
+        with pytest.raises(CommandLogViolation, match="tRFC"):
+            check_command_log(log, T)

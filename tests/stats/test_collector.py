@@ -1,0 +1,49 @@
+"""Unit tests for the stats collector."""
+
+import pytest
+
+from repro.stats.collector import StatsCollector
+
+
+class TestCounters:
+    def test_add_accumulates(self):
+        s = StatsCollector()
+        s.add("reads")
+        s.add("reads", 4)
+        assert s.get("reads") == 5
+
+    def test_set_overwrites(self):
+        s = StatsCollector()
+        s.add("x", 10)
+        s.set("x", 3)
+        assert s.get("x") == 3
+
+    def test_missing_default(self):
+        s = StatsCollector()
+        assert s.get("nope", -1) == -1
+
+    def test_update_with_prefix(self):
+        s = StatsCollector()
+        s.update({"a": 1, "b": 2}, prefix="core0.")
+        assert s.get("core0.a") == 1
+        assert s.with_prefix("core0.") == {"core0.a": 1, "core0.b": 2}
+
+    def test_ratio(self):
+        s = StatsCollector()
+        s.set("hits", 3)
+        s.set("lookups", 4)
+        assert s.ratio("hits", "lookups") == pytest.approx(0.75)
+        assert s.ratio("hits", "missing") == 0.0
+
+    def test_contains_and_len(self):
+        s = StatsCollector()
+        s.add("x")
+        assert "x" in s and "y" not in s
+        assert len(s) == 1
+
+    def test_as_dict_is_copy(self):
+        s = StatsCollector()
+        s.add("x")
+        d = s.as_dict()
+        d["x"] = 99
+        assert s.get("x") == 1

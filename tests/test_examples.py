@@ -1,0 +1,49 @@
+"""Sanity checks on the example scripts.
+
+Full example runs take seconds to minutes, so the test suite verifies
+that each script compiles, has a docstring and a main() entry, and
+that its imports resolve (executing only the module top level would
+trigger simulations for none of them - all work happens in main()).
+"""
+
+import ast
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parent.parent.joinpath("examples")
+    .glob("*.py"))
+
+
+def test_at_least_five_examples():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+class TestExampleScripts:
+    def test_compiles(self, path):
+        source = path.read_text()
+        compile(source, str(path), "exec")
+
+    def test_has_docstring_and_main(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} needs a docstring"
+        names = {node.name for node in tree.body
+                 if isinstance(node, ast.FunctionDef)}
+        assert "main" in names, f"{path.name} needs a main()"
+
+    def test_guarded_entry_point(self, path):
+        assert 'if __name__ == "__main__":' in path.read_text()
+
+    def test_imports_resolve(self, path):
+        """Top-level imports must point at real modules."""
+        tree = ast.parse(path.read_text())
+        for node in tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    assert importlib.util.find_spec(alias.name) is not None
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                assert importlib.util.find_spec(node.module) is not None, \
+                    f"{path.name}: cannot import {node.module}"

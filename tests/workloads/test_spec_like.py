@@ -1,0 +1,69 @@
+"""Tests for the 22 named workload profiles."""
+
+import itertools
+
+import pytest
+
+from repro.dram.organization import Organization
+from repro.workloads.spec_like import (
+    WORKLOAD_NAMES,
+    get_profile,
+    make_trace,
+)
+
+
+@pytest.fixture
+def org():
+    return Organization(channels=1, ranks=1, banks=8, rows=64 * 1024,
+                        columns=128)
+
+
+class TestCatalogue:
+    def test_twenty_two_workloads(self):
+        assert len(WORKLOAD_NAMES) == 22
+
+    def test_paper_names_present(self):
+        for name in ("mcf", "omnetpp", "hmmer", "libquantum",
+                     "STREAMcopy", "tpch6", "tpcc64", "sphinx3"):
+            assert name in WORKLOAD_NAMES
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            get_profile("quake3")
+
+    def test_hmmer_is_cache_resident(self):
+        # Paper footnote 1: hmmer produces ~no main-memory traffic.
+        profile = get_profile("hmmer")
+        assert profile.footprint_bytes <= 1024 * 1024
+
+    def test_mcf_has_large_random_footprint(self):
+        profile = get_profile("mcf")
+        assert profile.pattern == "random"
+        assert profile.footprint_bytes >= 32 * 1024 * 1024
+
+    def test_intensity_ordering_sanity(self):
+        """Heavy workloads access memory more often than light ones."""
+        assert get_profile("STREAMcopy").mean_bubbles \
+            < get_profile("tpch6").mean_bubbles
+        assert get_profile("libquantum").mean_bubbles \
+            < get_profile("apache20").mean_bubbles
+
+
+class TestTraces:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_every_profile_builds_and_generates(self, org, name):
+        trace = make_trace(name, org, seed=1)
+        records = list(itertools.islice(trace, 500))
+        assert len(records) == 500
+        for r in records:
+            assert 0 <= r.line_address < org.total_lines
+
+    def test_seeding_is_stable(self, org):
+        a = list(itertools.islice(make_trace("mcf", org, seed=5), 50))
+        b = list(itertools.islice(make_trace("mcf", org, seed=5), 50))
+        assert a == b
+
+    def test_workloads_have_distinct_streams(self, org):
+        a = list(itertools.islice(make_trace("mcf", org, seed=1), 50))
+        b = list(itertools.islice(make_trace("omnetpp", org, seed=1), 50))
+        assert a != b

@@ -1,0 +1,102 @@
+"""Tests for trace-file workloads and analysis."""
+
+import itertools
+
+import pytest
+
+from repro.cpu.system import System
+from repro.dram.organization import Organization
+from repro.workloads.tracefile import (
+    analyze_trace,
+    generate_trace_file,
+    records_head,
+    summarize_file,
+    trace_file_workload,
+)
+
+from tests.conftest import tiny_config
+
+
+@pytest.fixture
+def org():
+    return Organization(channels=1, ranks=1, banks=8, rows=4096,
+                        columns=128)
+
+
+class TestGeneration:
+    def test_generate_and_reload(self, org, tmp_path):
+        path = str(tmp_path / "mcf.trace")
+        count = generate_trace_file(path, "mcf", org, 500, seed=3)
+        assert count == 500
+        head = records_head(path, 5)
+        assert len(head) == 5
+
+    def test_generation_deterministic(self, org, tmp_path):
+        a = str(tmp_path / "a.trace")
+        b = str(tmp_path / "b.trace")
+        generate_trace_file(a, "tpch2", org, 200, seed=7)
+        generate_trace_file(b, "tpch2", org, 200, seed=7)
+        assert open(a).read() == open(b).read()
+
+    def test_bad_count(self, org, tmp_path):
+        with pytest.raises(ValueError):
+            generate_trace_file(str(tmp_path / "x"), "mcf", org, 0)
+
+
+class TestWorkload:
+    def test_loops_forever(self, org, tmp_path):
+        path = str(tmp_path / "t.trace")
+        generate_trace_file(path, "sjeng", org, 50, seed=1)
+        records = list(itertools.islice(trace_file_workload(path), 170))
+        assert len(records) == 170
+        assert records[0] == records[50] == records[100]
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError):
+            trace_file_workload(str(path))
+
+    def test_system_runs_from_trace_file(self, tmp_path):
+        cfg = tiny_config(mechanism="chargecache", instruction_limit=2000)
+        org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
+        path = str(tmp_path / "wl.trace")
+        generate_trace_file(path, "tpch17", org, 2000, seed=5)
+        system = System(cfg, [trace_file_workload(path)])
+        result = system.run(max_mem_cycles=600_000)
+        assert not result.truncated
+        assert result.activations > 0
+
+
+class TestAnalysis:
+    def test_summary_fields(self, org, tmp_path):
+        path = str(tmp_path / "s.trace")
+        generate_trace_file(path, "STREAMcopy", org, 2000, seed=1)
+        summary = summarize_file(path)
+        assert summary.records == 2000
+        assert summary.instructions >= 2000
+        assert 0.3 < summary.write_fraction < 0.6  # profile is 0.45
+        assert summary.mean_bubbles == pytest.approx(6.0, rel=0.2)
+        assert summary.footprint_bytes == summary.distinct_lines * 64
+
+    def test_dependence_detected(self, org, tmp_path):
+        path = str(tmp_path / "c.trace")
+        generate_trace_file(path, "astar", org, 500, seed=1)  # chase
+        summary = summarize_file(path)
+        assert summary.dependent_fraction == 1.0
+
+    def test_intensity_metric(self, org):
+        from repro.cpu.trace import TraceRecord
+        records = [TraceRecord(9, i, False) for i in range(100)]
+        summary = analyze_trace(records)
+        assert summary.accesses_per_kilo_instruction == pytest.approx(100.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_trace([])
+
+    def test_limit_respected(self, org, tmp_path):
+        path = str(tmp_path / "l.trace")
+        generate_trace_file(path, "mcf", org, 300, seed=1)
+        summary = summarize_file(path, limit=100)
+        assert summary.records == 100
