@@ -1,0 +1,124 @@
+"""Engine throughput: simulated bus-cycles per wall-second, dense vs
+event, on a memory-idle-heavy and a memory-bound workload.
+
+The event engine's win comes from skipping provably idle bus cycles,
+so its advantage is largest when the cores spend most of their time in
+non-memory instruction stretches (idle-heavy) and smallest when a
+command issues nearly every cycle (memory-bound).  Expectations
+enforced here:
+
+* idle-heavy: >= 2x the dense engine's simulated-cycles/second;
+* memory-bound: no worse than a 10% regression;
+* both: bit-identical cycle counts (throughput must never be bought
+  with accuracy).
+
+Runs standalone (``python benchmarks/bench_engine_throughput.py``) or
+under pytest-benchmark like the figure benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from repro.config import (
+    CacheConfig,
+    ControllerConfig,
+    DRAMConfig,
+    ProcessorConfig,
+    SimulationConfig,
+)
+from repro.cpu.system import System
+from repro.dram.organization import Organization
+from repro.workloads.synthetic import random_trace
+
+#: (mean bubbles per access, footprint bytes, instruction limit).
+WORKLOADS = {
+    # Long non-memory stretches, small mostly-cached footprint: the
+    # next interesting event is routinely tens of bus cycles away.
+    "idle-heavy": (2000.0, 1 << 18, 2_000_000),
+    # Few bubbles, LLC-defeating footprint: the channel stays busy and
+    # the engines visit nearly the same cycles.
+    "memory-bound": (4.0, 1 << 21, 120_000),
+}
+
+
+def _build(engine: str, bubbles: float, footprint: int,
+           limit: int) -> System:
+    cfg = SimulationConfig(
+        processor=ProcessorConfig(num_cores=1),
+        cache=CacheConfig(size_bytes=64 * 1024, associativity=4),
+        dram=DRAMConfig(channels=1, rows_per_bank=4096),
+        controller=ControllerConfig(row_policy="open"),
+        instruction_limit=limit,
+        warmup_cpu_cycles=1000,
+        engine=engine,
+    )
+    org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
+    trace = random_trace(org, footprint, bubbles, seed=1,
+                         write_fraction=0.2)
+    return System(cfg, [trace])
+
+
+def measure(workload: str, repeats: int = 3) -> dict:
+    """Best-of-N cycles/second for both engines on one workload."""
+    bubbles, footprint, limit = WORKLOADS[workload]
+    rows = {}
+    for engine in ("dense", "event"):
+        best_dt, cycles = None, None
+        for _ in range(repeats):
+            system = _build(engine, bubbles, footprint, limit)
+            t0 = time.perf_counter()
+            result = system.run(max_mem_cycles=50_000_000)
+            dt = time.perf_counter() - t0
+            if best_dt is None or dt < best_dt:
+                best_dt = dt
+            cycles = result.mem_cycles
+        rows[engine] = {"mem_cycles": cycles, "seconds": best_dt,
+                        "cycles_per_sec": cycles / best_dt}
+    assert rows["dense"]["mem_cycles"] == rows["event"]["mem_cycles"], \
+        "engines disagree on simulated time - parity bug"
+    rows["speedup"] = (rows["event"]["cycles_per_sec"]
+                       / rows["dense"]["cycles_per_sec"])
+    return rows
+
+
+def _report(workload: str, rows: dict) -> None:
+    print(f"\n{workload}:")
+    for engine in ("dense", "event"):
+        r = rows[engine]
+        print(f"  {engine:5s}: {r['mem_cycles']:>10,} bus cycles in "
+              f"{r['seconds']:6.2f} s  ->  "
+              f"{r['cycles_per_sec'] / 1e3:8.1f} kcycles/s")
+    print(f"  event/dense: {rows['speedup']:.2f}x")
+
+
+def test_idle_heavy_speedup(benchmark=None):
+    rows = measure("idle-heavy")
+    _report("idle-heavy", rows)
+    if benchmark is not None:
+        benchmark.extra_info.update(rows)
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert rows["speedup"] >= 2.0, (
+        f"event engine only {rows['speedup']:.2f}x on idle-heavy work")
+
+
+def test_memory_bound_no_regression(benchmark=None):
+    rows = measure("memory-bound")
+    _report("memory-bound", rows)
+    if benchmark is not None:
+        benchmark.extra_info.update(rows)
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert rows["speedup"] >= 0.9, (
+        f"event engine regresses {1 - rows['speedup']:.0%} on "
+        f"memory-bound work (budget: 10%)")
+
+
+def main() -> int:
+    for workload in WORKLOADS:
+        _report(workload, measure(workload))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

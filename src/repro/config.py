@@ -30,6 +30,16 @@ MECHANISMS = ("none", "chargecache", "nuat", "chargecache+nuat",
 #: Known row-buffer management policies (Section 3 of the paper).
 ROW_POLICIES = ("open", "closed")
 
+#: Known simulation engines.  "event" advances the clock directly to the
+#: next cycle where anything observable can happen (command issue, read
+#: completion, refresh, core wake-up); "dense" ticks every bus cycle.
+#: Both produce bit-identical RunResult statistics (see
+#: tests/integration/test_engine_parity.py).
+ENGINES = ("event", "dense")
+
+#: Engine used when a configuration does not name one.
+DEFAULT_ENGINE = "event"
+
 
 @dataclass(frozen=True)
 class ProcessorConfig:
@@ -202,6 +212,9 @@ class SimulationConfig:
     #: DRAM operating temperature; used by the AL-DRAM mechanism
     #: (Section 7.1).  85 C is the specified worst case.
     temperature_c: float = 85.0
+    #: Simulation engine: "event" (default, skips idle cycles) or
+    #: "dense" (tick-per-cycle reference implementation).
+    engine: str = DEFAULT_ENGINE
 
     @property
     def cpu_cycles_per_mem_cycle(self) -> int:
@@ -222,10 +235,17 @@ class SimulationConfig:
             raise ValueError("instruction_limit must be >= 1")
         if self.warmup_cpu_cycles < 0:
             raise ValueError("warmup must be >= 0")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}")
 
     def with_mechanism(self, mechanism: str) -> "SimulationConfig":
         """Return a copy of this config with a different latency mechanism."""
         return replace(self, mechanism=mechanism)
+
+    def with_engine(self, engine: str) -> "SimulationConfig":
+        """Return a copy of this config running on a different engine."""
+        return replace(self, engine=engine)
 
 
 def single_core_config(mechanism: str = "none", **overrides) -> SimulationConfig:

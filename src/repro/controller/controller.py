@@ -25,7 +25,7 @@ from repro.core.timing_policy import LatencyMechanism
 from repro.dram.channel import Channel
 from repro.dram.commands import Command
 from repro.dram.refresh import RefreshScheduler
-from repro.dram.timing import TimingParameters
+from repro.dram.timing import NEVER, TimingParameters
 
 
 class ControllerStats:
@@ -108,6 +108,11 @@ class MemoryController:
         self._event_seq = itertools.count()
         self.stats = ControllerStats()
         self._num_ranks = num_ranks
+        self._last_issue_cycle = -1
+        self._issue_count = 0
+        self._forward_count = 0
+        self._wake_cache: Optional[Tuple[Tuple[int, int, int, int], int]] \
+            = None
 
     # ------------------------------------------------------------------
     # Request entry points (called by the cache hierarchy / system)
@@ -123,6 +128,7 @@ class MemoryController:
             request.enqueue_cycle = cycle
             request.done_cycle = cycle + 1
             self.stats.forwards += 1
+            self._forward_count += 1
             heapq.heappush(self._read_events,
                            (cycle + 1, next(self._event_seq), request))
             return True
@@ -154,7 +160,16 @@ class MemoryController:
     # ------------------------------------------------------------------
 
     def tick(self, cycle: int) -> None:
-        """Advance one bus cycle: fire completions, issue <= 1 command."""
+        """Advance to bus cycle ``cycle``: fire completions, issue <= 1
+        command.
+
+        The dense engine calls this every cycle; the event engine only
+        at cycles :meth:`next_event_cycle` reported.  Both produce the
+        same command stream because nothing here depends on *how* the
+        clock reached ``cycle``: completions pop by timestamp,
+        mechanism maintenance is batch-exact, and scheduling reads only
+        current queue/bank state.
+        """
         events = self._read_events
         while events and events[0][0] <= cycle:
             _, _, req = heapq.heappop(events)
@@ -167,23 +182,111 @@ class MemoryController:
 
         blocked = self._refresh_step(cycle)
         if blocked is None:
+            self._note_issue(cycle)
             return  # a refresh-related command was issued this cycle
 
-        if not (cycle & 63):
-            self.read_q.sample_occupancy()
-            self.write_q.sample_occupancy()
-
-        self._update_drain_mode()
-        queue = self.write_q if self._drain_writes else self.read_q
+        queue = self._select_queue()
         if queue:
             decision = self.scheduler.choose(queue, self.channel, cycle,
                                              blocked)
             if decision is not None:
                 self._execute(decision, queue, cycle)
+                self._note_issue(cycle)
                 return
 
-        if self._pending_pre:
-            self._issue_pending_pre(cycle, blocked)
+        if self._pending_pre and self._issue_pending_pre(cycle, blocked):
+            self._note_issue(cycle)
+
+    def _note_issue(self, cycle: int) -> None:
+        """Record a command issue and sample queue occupancy.
+
+        Issue-time sampling (instead of the old ``cycle & 63`` wall
+        clock) makes the statistic independent of which cycles the
+        engine visits, so dense and event runs report identical
+        occupancies.
+        """
+        self._last_issue_cycle = cycle
+        self._issue_count += 1
+        self.read_q.sample_occupancy()
+        self.write_q.sample_occupancy()
+
+    def next_event_cycle(self, cycle: int) -> int:
+        """Earliest future cycle at which this controller can act.
+
+        This is the controller's wake-up bid to the event engine: a
+        lower bound (never an overestimate) on the next cycle where
+        :meth:`tick` would do anything - fire a read completion, make
+        refresh progress, issue a scheduled command or a pending
+        precharge, or run a mechanism sweep.  The bound is valid until
+        the next visited cycle, because every state change (enqueue,
+        issue, completion) happens at visited cycles and the engine
+        recomputes after each one.
+        """
+        if self._last_issue_cycle == cycle:
+            # Just issued a command: more work is typically ready within
+            # a cycle or two, and "next cycle" is always a valid lower
+            # bound, so skip the full scan while the channel is busy.
+            return cycle + 1
+        # All the timing state this bid derives from changes only on
+        # command issues, queue pushes/removals, or write-forwards, so
+        # a bid computed earlier stays valid until one of those version
+        # counters moves (or the bid cycle itself is reached).
+        key = (self._issue_count, self._forward_count,
+               self.read_q.version, self.write_q.version)
+        if self._wake_cache is not None:
+            cached_key, bid = self._wake_cache
+            if cached_key == key and bid > cycle:
+                return bid
+        nxt = NEVER
+        if self._read_events:
+            nxt = self._read_events[0][0]
+
+        # Refresh: ranks whose REF is already due block normal
+        # scheduling; wake when their refresh can make progress.
+        # Ranks due later wake the controller at the due cycle.
+        blocked: List[int] = []
+        for rank_idx in range(self._num_ranks):
+            due = self.refresh.next_due(rank_idx)
+            if due > cycle:
+                if due < nxt:
+                    nxt = due
+            else:
+                blocked.append(rank_idx)
+                t = self.channel.earliest_refresh_action(rank_idx)
+                if t < nxt:
+                    nxt = t
+        if nxt <= cycle + 1:
+            return cycle + 1
+
+        # Scheduled commands.  Only the queue :meth:`_select_queue`
+        # picks matters: the selection is a pure function of queue
+        # lengths (the drain latch is idempotent in them), and lengths
+        # change only at visited cycles - where this bid is recomputed
+        # - so the selection provably cannot flip during a skip.
+        queue = self._select_queue()
+        if queue:
+            t = self.scheduler.next_ready_cycle(queue, self.channel,
+                                                cycle, blocked)
+            if t < nxt:
+                nxt = t
+            if nxt <= cycle + 1:
+                return cycle + 1
+
+        for rank, bank in self._pending_pre:
+            if rank in blocked:
+                continue  # refresh handling owns this rank for now
+            if self.channel.bank(rank, bank).open_row is None:
+                continue
+            t = self.channel.earliest(Command.PRE, rank, bank)
+            if t < nxt:
+                nxt = t
+
+        t = self.mechanism.next_wake(cycle)
+        if t < nxt:
+            nxt = t
+        nxt = nxt if nxt > cycle else cycle + 1
+        self._wake_cache = (key, nxt)
+        return nxt
 
     # ------------------------------------------------------------------
     # Refresh handling
@@ -225,13 +328,36 @@ class MemoryController:
     # ------------------------------------------------------------------
 
     def _update_drain_mode(self) -> None:
+        """Advance the watermark latch.
+
+        The latch transitions are idempotent in the queue lengths
+        (re-evaluating with unchanged queues never flips the state), a
+        property the event engine relies on: queue lengths only change
+        at visited cycles, so the latch is provably stable across
+        skipped ones.  Opportunistic draining when the read queue is
+        empty is therefore *not* latched - it is decided afresh in
+        :meth:`_select_queue` - because routing it through the latch
+        would make the state oscillate every evaluation at small write
+        occupancies (the drain would turn on, immediately drop below
+        the low watermark, turn off, and repeat), making command
+        timing depend on how often the controller is polled.
+        """
         wq_len = len(self.write_q)
         if self._drain_writes:
             if wq_len <= self._wq_low:
                 self._drain_writes = False
         else:
-            if wq_len >= self._wq_high or (self.read_q.is_empty and wq_len):
+            if wq_len >= self._wq_high:
                 self._drain_writes = True
+
+    def _select_queue(self) -> RequestQueue:
+        """The queue the scheduler serves this cycle."""
+        self._update_drain_mode()
+        if self._drain_writes:
+            return self.write_q
+        if self.read_q.is_empty and len(self.write_q):
+            return self.write_q  # nothing to read: sneak writes out
+        return self.read_q
 
     def _execute(self, decision: SchedulerDecision, queue: RequestQueue,
                  cycle: int) -> None:
@@ -293,7 +419,8 @@ class MemoryController:
                                                  self.write_q):
             self._pending_pre.add((req.rank, req.bank))
 
-    def _issue_pending_pre(self, cycle: int, blocked: Set[int]) -> None:
+    def _issue_pending_pre(self, cycle: int, blocked: Set[int]) -> bool:
+        """Issue one policy-requested PRE if legal; True when issued."""
         for rank, bank in list(self._pending_pre):
             if rank in blocked:
                 continue
@@ -303,7 +430,8 @@ class MemoryController:
                 continue
             if self.channel.can_issue(Command.PRE, rank, bank, cycle):
                 self._issue_pre(rank, bank, cycle)
-                return
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # Introspection / statistics
@@ -334,13 +462,7 @@ class MemoryController:
         self.stats.reset(cycle, self.channel.active_cycles_until(cycle),
                          self.channel.rank_active_cycles_until(cycle))
         self.mechanism.reset_stats()
-        self.read_q.enqueued = 0
-        self.read_q.coalesced = 0
-        self.read_q.occupancy_accum = 0
-        self.read_q.occupancy_samples = 0
-        self.write_q.enqueued = 0
-        self.write_q.coalesced = 0
-        self.write_q.occupancy_accum = 0
-        self.write_q.occupancy_samples = 0
+        self.read_q.reset_stats()
+        self.write_q.reset_stats()
         if self.rltl_probe is not None:
             self.rltl_probe.reset()

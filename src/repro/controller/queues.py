@@ -8,13 +8,19 @@ line address; reads may be served by forwarding from a queued write
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.controller.request import Request
 
 
 class RequestQueue:
-    """FIFO-ordered bounded queue indexed by line address."""
+    """FIFO-ordered bounded queue indexed by line address.
+
+    Besides the arrival-order list, the queue maintains per-(rank,
+    bank) and per-(rank, bank, row) request counts incrementally, so
+    row-policy checks and the event engine's earliest-ready queries run
+    in O(distinct banks) instead of rescanning every entry.
+    """
 
     def __init__(self, capacity: int):
         if capacity < 1:
@@ -22,6 +28,11 @@ class RequestQueue:
         self.capacity = capacity
         self._items: List[Request] = []
         self._by_line: Dict[int, Request] = {}
+        self._bank_count: Dict[Tuple[int, int], int] = {}
+        self._row_count: Dict[Tuple[int, int, int], int] = {}
+        #: Bumped on every push/remove; lets the event engine cache
+        #: earliest-ready computations between content changes.
+        self.version = 0
         # Statistics.
         self.enqueued = 0
         self.coalesced = 0
@@ -56,6 +67,11 @@ class RequestQueue:
         request.enqueue_cycle = cycle
         self._items.append(request)
         self._by_line[request.line_address] = request
+        bank_key = (request.rank, request.bank)
+        self._bank_count[bank_key] = self._bank_count.get(bank_key, 0) + 1
+        row_key = (request.rank, request.bank, request.row)
+        self._row_count[row_key] = self._row_count.get(row_key, 0) + 1
+        self.version += 1
         self.enqueued += 1
         return True
 
@@ -74,26 +90,51 @@ class RequestQueue:
         self._items.remove(request)
         if self._by_line.get(request.line_address) is request:
             del self._by_line[request.line_address]
+        bank_key = (request.rank, request.bank)
+        left = self._bank_count[bank_key] - 1
+        if left:
+            self._bank_count[bank_key] = left
+        else:
+            del self._bank_count[bank_key]
+        row_key = (request.rank, request.bank, request.row)
+        left = self._row_count[row_key] - 1
+        if left:
+            self._row_count[row_key] = left
+        else:
+            del self._row_count[row_key]
+        self.version += 1
 
     def has_row_hit(self, channel_state) -> bool:
         """Any queued request targeting a currently open row?"""
-        for req in self._items:
-            bank = channel_state.bank(req.rank, req.bank)
-            if bank.open_row == req.row:
+        for (rank, bank), _count in self._bank_count.items():
+            open_row = channel_state.bank(rank, bank).open_row
+            if open_row is not None and \
+                    (rank, bank, open_row) in self._row_count:
                 return True
         return False
 
+    def requests_for_bank(self, rank: int, bank: int) -> int:
+        """Count queued requests to a specific (rank, bank)."""
+        return self._bank_count.get((rank, bank), 0)
+
     def requests_for_row(self, rank: int, bank: int, row: int) -> int:
         """Count queued requests to a specific (rank, bank, row)."""
-        count = 0
-        for req in self._items:
-            if req.rank == rank and req.bank == bank and req.row == row:
-                count += 1
-        return count
+        return self._row_count.get((rank, bank, row), 0)
+
+    def banks(self) -> Iterator[Tuple[int, int]]:
+        """The distinct (rank, bank) pairs with queued requests."""
+        return iter(self._bank_count)
 
     def sample_occupancy(self) -> None:
         self.occupancy_accum += len(self._items)
         self.occupancy_samples += 1
+
+    def reset_stats(self) -> None:
+        """Zero the enqueue/coalesce counters and occupancy samples."""
+        self.enqueued = 0
+        self.coalesced = 0
+        self.occupancy_accum = 0
+        self.occupancy_samples = 0
 
     @property
     def average_occupancy(self) -> float:

@@ -21,6 +21,7 @@ from typing import Optional
 from repro.controller.request import Request
 from repro.dram.channel import Channel
 from repro.dram.commands import Command
+from repro.dram.timing import NEVER
 
 
 @dataclass
@@ -31,7 +32,7 @@ class SchedulerDecision:
     command: Command
 
 
-def _required_command(request: Request, channel: Channel) -> Command:
+def required_command(request: Request, channel: Channel) -> Command:
     """The next command this request needs, given current bank state."""
     bank = channel.bank(request.rank, request.bank)
     if bank.open_row is None:
@@ -67,12 +68,56 @@ class FRFCFSScheduler:
         for req in queue:
             if req.rank in blocked_ranks:
                 continue
-            cmd = _required_command(req, channel)
+            cmd = required_command(req, channel)
             if cmd.is_column:
                 continue  # handled (or timing-blocked) in pass 1
             if channel.can_issue(cmd, req.rank, req.bank, cycle):
                 return SchedulerDecision(req, cmd)
         return None
+
+    def next_ready_cycle(self, queue, channel: Channel, cycle: int,
+                         blocked_ranks=()) -> int:
+        """Earliest cycle at which :meth:`choose` could return non-None.
+
+        FR-FCFS considers every queued request each cycle, so the bound
+        is the minimum earliest-issue cycle over each request's
+        currently required command.  Requests sharing a bank share
+        timing state, so the scan runs over the queue's per-bank
+        aggregates (O(distinct banks), not O(requests)): a bank's
+        candidates are the column command when some request hits the
+        open row, PRE when some request conflicts with it, and ACT when
+        the bank is closed.  The result is a *lower* bound, valid until
+        the next command issue or enqueue (the event engine recomputes
+        after both): waking early and finding nothing to do is exactly
+        what the dense engine does on every idle cycle.
+        """
+        best = NEVER
+        col_cmd = None
+        for rank, bank in queue.banks():
+            if rank in blocked_ranks:
+                continue  # reserved for refresh; refresh wake-ups cover it
+            open_row = channel.bank(rank, bank).open_row
+            if open_row is None:
+                t = channel.earliest(Command.ACT, rank, bank)
+            else:
+                hits = queue.requests_for_row(rank, bank, open_row)
+                if hits:
+                    if col_cmd is None:
+                        # Queues are homogeneous (one per direction).
+                        first = next(iter(queue))
+                        col_cmd = Command.WR if first.is_write else Command.RD
+                    t = channel.earliest(col_cmd, rank, bank)
+                else:
+                    t = NEVER
+                if hits < queue.requests_for_bank(rank, bank):
+                    t_pre = channel.earliest(Command.PRE, rank, bank)
+                    if t_pre < t:
+                        t = t_pre
+            if t < best:
+                best = t
+                if best <= cycle + 1:
+                    break  # cannot get any earlier than "next cycle"
+        return best
 
 
 class FCFSScheduler:
@@ -85,11 +130,22 @@ class FCFSScheduler:
         for req in queue:
             if req.rank in blocked_ranks:
                 continue
-            cmd = _required_command(req, channel)
+            cmd = required_command(req, channel)
             if channel.can_issue(cmd, req.rank, req.bank, cycle):
                 return SchedulerDecision(req, cmd)
             return None  # head-of-line blocking: only the oldest counts
         return None
+
+    def next_ready_cycle(self, queue, channel: Channel, cycle: int,
+                         blocked_ranks=()) -> int:
+        """Earliest possible pick: only the (unblocked) head counts."""
+        del cycle
+        for req in queue:
+            if req.rank in blocked_ranks:
+                continue  # choose() skips refresh-reserved ranks too
+            cmd = required_command(req, channel)
+            return channel.earliest(cmd, req.rank, req.bank)
+        return NEVER
 
 
 def make_scheduler(name: str):

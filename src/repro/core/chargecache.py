@@ -118,6 +118,23 @@ class ChargeCache(LatencyMechanism):
         for invalidator in self.invalidators:
             invalidator.advance_to(cycle)
 
+    def next_wake(self, cycle: int) -> int:
+        """Next IIC wrap across all tables (event-engine wake-up).
+
+        Registering the sweep deadline keeps invalidations happening at
+        the hardware scheme's absolute cycles even when the controller
+        is otherwise idle.  Tables with no valid entries have nothing
+        to invalidate, so they demand no wake-up.
+        """
+        del cycle
+        if self.unbounded:
+            return super().next_wake(0)
+        wake = super().next_wake(0)
+        for table, invalidator in zip(self.tables, self.invalidators):
+            if len(table) and invalidator.next_wrap_cycle() < wake:
+                wake = invalidator.next_wrap_cycle()
+        return wake
+
     # ------------------------------------------------------------------
 
     def valid_entries(self) -> int:

@@ -73,6 +73,17 @@ class PeriodicInvalidator:
                 self.sweeps += 1
         return cleared
 
+    def next_wrap_cycle(self) -> int:
+        """Cycle of the next IIC wrap (the next single-entry sweep step).
+
+        Event-engine wake-up hook: :meth:`advance_to` is batch-exact,
+        so correctness never requires being called at the wrap itself,
+        but registering the wrap keeps the sweep running on schedule
+        (entries are invalidated at the same absolute cycles the
+        hardware scheme would) instead of only at command boundaries.
+        """
+        return self._last_cycle + self.interval
+
     def reset(self, cycle: int = 0) -> None:
         self._last_cycle = cycle
         self.entry_counter = 0

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.dram.timing import ReducedTimings, TimingParameters
+from repro.dram.timing import NEVER, ReducedTimings, TimingParameters
 
 
 class LatencyMechanism:
@@ -46,6 +46,20 @@ class LatencyMechanism:
 
     def maintain(self, cycle: int) -> None:
         """Perform periodic housekeeping up to ``cycle``."""
+
+    def next_wake(self, cycle: int) -> int:
+        """Earliest cycle at which this mechanism next needs a
+        :meth:`maintain` call.
+
+        The event engine no longer polls :meth:`maintain` every cycle,
+        so a mechanism with time-driven state registers its next
+        deadline here instead of relying on being ticked.  ``NEVER``
+        (the default) means the mechanism is purely reactive - its
+        housekeeping is batch-exact and can run lazily at the next
+        command boundary.
+        """
+        del cycle
+        return NEVER
 
     def reset_stats(self) -> None:
         self.lookups = 0
@@ -100,6 +114,9 @@ class CombinedMechanism(LatencyMechanism):
     def maintain(self, cycle):
         self.first.maintain(cycle)
         self.second.maintain(cycle)
+
+    def next_wake(self, cycle):
+        return min(self.first.next_wake(cycle), self.second.next_wake(cycle))
 
     def reset_stats(self):
         super().reset_stats()

@@ -230,6 +230,18 @@ class SharedCache:
     def outstanding_misses(self) -> int:
         return len(self._mshrs)
 
+    @property
+    def has_parked_requests(self) -> bool:
+        """Any requests waiting in the retry lists?
+
+        While parked requests exist the event engine must visit every
+        cycle, mirroring the dense engine's per-cycle :meth:`tick`
+        retry: a parked read can newly succeed not only when queue room
+        frees (a visited issue cycle) but also by write-queue
+        forwarding the cycle after a matching store enqueues.
+        """
+        return bool(self._retry_reads or self._retry_writes)
+
     def contains(self, line_address: int) -> bool:
         lru, tag = self._locate(line_address)
         return tag in lru

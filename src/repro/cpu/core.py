@@ -131,6 +131,64 @@ class Core:
             self.block_reason = BLOCK_NONE
 
     # ------------------------------------------------------------------
+    # Event-engine wake-up query
+    # ------------------------------------------------------------------
+
+    def next_event_cpu_cycle(self) -> Optional[int]:
+        """Latest CPU cycle the event engine may sleep through.
+
+        Returns a CPU cycle ``X`` such that this core performs no
+        externally visible action (memory-system ``issue`` call or
+        instruction-limit crossing) while ``cpu_now <= X``; the system
+        must step the core again at the first bus cycle whose CPU time
+        exceeds ``X``.  Returns ``None`` when the core is quiescent
+        until a load-completion callback (which the memory side already
+        schedules a wake-up for).
+
+        The bound is exact for uninterrupted bubble stretches - it is
+        derived from the same closed-form slot arithmetic
+        :meth:`_dispatch_bubbles` uses - and conservative (early)
+        otherwise, which preserves dense-engine equivalence: waking at
+        a cycle where nothing happens is exactly what the dense engine
+        does every cycle.
+        """
+        if self.block_reason == BLOCK_REJECT:
+            # Rejected stores retry (and re-count LLC misses) every
+            # memory cycle in the dense engine; replicate that.
+            return self.now
+        if self.block_reason != BLOCK_NONE:
+            return None  # woken by on_load_complete
+        bubbles = self._bubbles_left
+        if not bubbles:
+            # Either a memory access is pending dispatch, or the next
+            # trace record has not been fetched yet: step next cycle.
+            return self.now
+        if self._inflight:
+            room = self.window_size - self.window_occupancy
+            if room <= bubbles:
+                # The window fills behind the outstanding load before
+                # the bubble stretch ends; the core blocks without any
+                # memory-visible action until a completion arrives.
+                return None
+            # Retirement is pinned by the oldest in-flight load, so no
+            # instruction-limit crossing can happen before then either.
+            return self.now + (self._slot + bubbles) // self.issue_width
+        # Free-running bubble stretch: the next access dispatch attempt
+        # lands one issue slot after the last bubble.
+        wake = self.now + (self._slot + bubbles) // self.issue_width
+        if not self.finished:
+            needed = self.instruction_limit - self.retired_since_reset
+            if needed <= bubbles:
+                # The instruction limit is crossed inside this stretch;
+                # finish_cycle is stamped at the end of the per-cycle
+                # dispatch chunk containing the crossing, so the engine
+                # must visit that exact bus cycle.
+                cross = self.now - (-(self._slot + needed)
+                                    // self.issue_width)
+                wake = min(wake, cross - 1)
+        return wake
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 

@@ -9,6 +9,20 @@ A run executes until every core has retired ``instruction_limit``
 post-warmup instructions (finished cores keep executing so memory
 pressure stays realistic, exactly like trace-loop methodology in
 Ramulator-based studies).
+
+Two clock engines share the per-cycle body (:meth:`System._step`):
+
+* **dense** ticks every bus cycle - the reference implementation.
+* **event** (default) asks every component for its next wake-up - the
+  earliest ready command from the per-bank timing state, the next
+  refresh due, the next read completion, the next mechanism sweep, the
+  next core memory access or instruction-limit crossing - and advances
+  ``mem_cycle`` straight to the minimum.  Because every wake-up is a
+  *lower bound* on the component's next observable action and all
+  state changes happen at visited cycles, the visited set is a
+  superset of the dense engine's action cycles and the two engines
+  produce bit-identical statistics (see DESIGN.md and
+  ``tests/integration/test_engine_parity.py``).
 """
 
 from __future__ import annotations
@@ -26,7 +40,7 @@ from repro.cpu.core import Core
 from repro.cpu.trace import TraceRecord
 from repro.dram.organization import Organization
 from repro.dram.refresh import RefreshScheduler
-from repro.dram.timing import DDR3_1600, TimingParameters
+from repro.dram.timing import DDR3_1600, NEVER, TimingParameters
 from repro.stats.probes import CompositeProbe
 from repro.stats.reuse import RowReuseProfiler
 from repro.stats.rltl import RLTLProbe
@@ -158,6 +172,7 @@ class System:
         self.mem_cycle = 0
         self._events: List = []  # (cpu_time, seq, core_id, token)
         self._event_seq = 0
+        self._warmed = config.warmup_cpu_cycles == 0
 
         self.llc = SharedCache(config.cache, self.mapper, self.controllers,
                                hit_notify=self._schedule_hit,
@@ -202,46 +217,142 @@ class System:
 
         ``max_mem_cycles`` is a safety stop; if hit, the result is
         flagged ``truncated`` and IPCs reflect the partial run.
+        Dispatches to the engine named by ``config.engine``.
         """
-        config = self.config
-        ratio = self.ratio
-        warmup = config.warmup_cpu_cycles
-        warmed = warmup == 0
-        idle_finished = config.idle_finished_cores
+        self._warmed = self.config.warmup_cpu_cycles == 0
+        if self.config.engine == "dense":
+            return self._run_dense(max_mem_cycles)
+        return self._run_event(max_mem_cycles)
+
+    def _step(self, mem: int) -> bool:
+        """The per-bus-cycle body shared by both engines.
+
+        Delivers due CPU-side events, ticks controllers and the LLC,
+        lets every core catch up to CPU time, and handles the warmup
+        boundary.  Returns True when every core is finished.
+        """
+        cpu_now = mem * self.ratio
+        cpu_prev = cpu_now - self.ratio
         events = self._events
         cores = self.cores
-        controllers = self.controllers
-        truncated = False
+        idle_finished = self.config.idle_finished_cores
+        warmed = self._warmed
+        for core in cores:
+            # Catch skipped cores up to the previous cycle's CPU time
+            # first: in the dense engine a blocked core still consumes
+            # wall-clock every cycle, so time skipped while stalled
+            # must not be handed back as dispatch budget once a
+            # completion unblocks it.  The wake-up bounds guarantee no
+            # core can issue a memory access before ``cpu_prev``, so
+            # this advance is side-effect-free (dense mode: no-op,
+            # ``now`` is already at ``cpu_prev``).
+            if core.now < cpu_prev and \
+                    not (idle_finished and warmed and core.finished):
+                core.run_until(cpu_prev)
+        while events and events[0][0] <= cpu_now:
+            _, _, core_id, token = heapq.heappop(events)
+            cores[core_id].on_load_complete(token)
+        for controller in self.controllers:
+            controller.tick(mem)
+        self.llc.tick()
+        all_finished = True
+        for core in cores:
+            if idle_finished and warmed and core.finished:
+                continue
+            core.retry_rejected()
+            core.run_until(cpu_now)
+            if not core.finished:
+                all_finished = False
+        if not warmed and cpu_now >= self.config.warmup_cpu_cycles:
+            self._warmed = True
+            self._reset_stats(cpu_now, mem)
+            all_finished = False
+        return all_finished
 
+    def _run_dense(self, max_mem_cycles: Optional[int]) -> RunResult:
+        """Reference engine: visit every bus cycle."""
+        truncated = False
         while True:
             self.mem_cycle += 1
-            mem = self.mem_cycle
-            cpu_now = mem * ratio
-            while events and events[0][0] <= cpu_now:
-                _, _, core_id, token = heapq.heappop(events)
-                cores[core_id].on_load_complete(token)
-            for controller in controllers:
-                controller.tick(mem)
-            self.llc.tick()
-            all_finished = True
-            for core in cores:
-                if idle_finished and warmed and core.finished:
-                    continue
-                core.retry_rejected()
-                core.run_until(cpu_now)
-                if not core.finished:
-                    all_finished = False
-            if not warmed and cpu_now >= warmup:
-                warmed = True
-                self._reset_stats(cpu_now, mem)
-                all_finished = False
-            if warmed and all_finished:
+            all_finished = self._step(self.mem_cycle)
+            if self._warmed and all_finished:
                 break
-            if max_mem_cycles is not None and mem >= max_mem_cycles:
+            if max_mem_cycles is not None and self.mem_cycle >= max_mem_cycles:
                 truncated = True
                 break
-
         return self._collect(truncated)
+
+    def _run_event(self, max_mem_cycles: Optional[int]) -> RunResult:
+        """Event engine: advance straight to the next wake-up cycle.
+
+        Cycles between wake-ups are provably no-ops (no command can
+        issue, no completion fires, no core can touch memory), so
+        skipping them leaves every statistic bit-identical to the
+        dense engine.
+        """
+        truncated = False
+        while True:
+            target = self._next_wake_cycle()
+            if target is None:
+                if max_mem_cycles is None:
+                    raise RuntimeError(
+                        "event engine deadlock: no pending wake-ups but "
+                        "cores are not finished")
+                target = max_mem_cycles
+            if max_mem_cycles is not None and target > max_mem_cycles:
+                target = max_mem_cycles
+            self.mem_cycle = max(target, self.mem_cycle + 1)
+            all_finished = self._step(self.mem_cycle)
+            if self._warmed and all_finished:
+                break
+            if max_mem_cycles is not None and self.mem_cycle >= max_mem_cycles:
+                truncated = True
+                break
+        return self._collect(truncated)
+
+    def _next_wake_cycle(self) -> Optional[int]:
+        """Minimum over every component's next-event bid, or None when
+        nothing is pending (only possible if the system is deadlocked
+        or every core is quiescent forever)."""
+        cycle = self.mem_cycle
+        ratio = self.ratio
+        if self.llc.has_parked_requests:
+            # The dense engine retries parked LLC requests every cycle;
+            # a parked read may newly forward from the write queue the
+            # cycle after a matching store arrives, which no controller
+            # or core bid covers.  Step densely until the lists drain.
+            return cycle + 1
+        nxt = NEVER
+        for controller in self.controllers:
+            w = controller.next_event_cycle(cycle)
+            if w < nxt:
+                nxt = w
+                if nxt <= cycle + 1:
+                    return cycle + 1
+        if self._events:
+            # Delivered at the first bus cycle with mem*ratio >= stamp.
+            w = -(-self._events[0][0] // ratio)
+            if w < nxt:
+                nxt = w
+        if not self._warmed:
+            w = -(-self.config.warmup_cpu_cycles // ratio)
+            if w < nxt:
+                nxt = w
+        idle_finished = self.config.idle_finished_cores
+        for core in self.cores:
+            if idle_finished and self._warmed and core.finished:
+                continue
+            c = core.next_event_cpu_cycle()
+            if c is None:
+                continue
+            # The core must be stepped at the first bus cycle whose CPU
+            # time strictly exceeds c.
+            w = c // ratio + 1
+            if w < nxt:
+                nxt = w
+                if nxt <= cycle + 1:
+                    return cycle + 1
+        return nxt if nxt < NEVER else None
 
     def _reset_stats(self, cpu_now: int, mem: int) -> None:
         for controller in self.controllers:

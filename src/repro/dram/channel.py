@@ -79,6 +79,22 @@ class Channel:
                   cycle: int) -> bool:
         return self.earliest(command, rank, bank) <= cycle
 
+    def earliest_refresh_action(self, rank: int) -> int:
+        """Earliest cycle the controller can make refresh progress.
+
+        When every bank of ``rank`` is precharged this is the earliest
+        REF; otherwise it is the earliest PRE over the still-open banks
+        (the controller must close them before refreshing).  Used by the
+        event engine to wake exactly when a due refresh can advance,
+        instead of polling :meth:`can_issue` every cycle.
+        """
+        rk = self.ranks[rank]
+        if rk.all_banks_closed():
+            return self.earliest(Command.REF, rank, 0)
+        return min(self.earliest(Command.PRE, rank, bank_idx)
+                   for bank_idx, bank in enumerate(rk.banks)
+                   if bank.open_row is not None)
+
     def _rank_switch_gate(self, rank: int) -> int:
         """Extra delay when the data bus switches ranks (tRTRS)."""
         if self._last_col_rank is None or self._last_col_rank == rank:

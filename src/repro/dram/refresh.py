@@ -24,7 +24,7 @@ from typing import List
 
 import numpy as np
 
-from repro.dram.timing import TimingParameters
+from repro.dram.timing import NEVER, TimingParameters
 
 
 class RefreshScheduler:
@@ -58,7 +58,7 @@ class RefreshScheduler:
 
     def next_due(self, rank: int) -> int:
         """Bus cycle at which the next REF for ``rank`` becomes due."""
-        return self._next_due[rank] if self.enabled else 1 << 62
+        return self._next_due[rank] if self.enabled else NEVER
 
     def rank_needs_refresh(self, rank: int, cycle: int) -> bool:
         return self.enabled and cycle >= self._next_due[rank]

@@ -19,6 +19,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
+#: Sentinel cycle meaning "never" / "nothing pending", shared by every
+#: layer's event-engine wake-up queries so bids compare consistently.
+NEVER = 1 << 62
+
 
 @dataclass(frozen=True)
 class ReducedTimings:

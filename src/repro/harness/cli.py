@@ -15,9 +15,10 @@ import json
 import sys
 from typing import Dict, List, Optional
 
+from repro.config import ENGINES
 from repro.harness import experiments
 from repro.harness.report import render_experiment
-from repro.harness.runner import current_scale
+from repro.harness.runner import current_scale, set_default_engine
 
 #: Experiment name -> callable(workloads, scale) -> result dict.
 _EXPERIMENTS = {
@@ -49,6 +50,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="restrict to these workloads/mixes")
     parser.add_argument("--scale", type=float, default=None,
                         help="instruction-budget multiplier")
+    parser.add_argument("--engine", choices=list(ENGINES),
+                        default=None,
+                        help="simulation engine: 'event' (default) skips "
+                             "provably idle cycles, 'dense' ticks every "
+                             "bus cycle; both give identical statistics")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also dump raw results as JSON")
     parser.add_argument("--csv", metavar="DIR", default=None,
@@ -61,6 +67,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     scale = current_scale()
     if args.scale:
         scale = scale.scaled(args.scale)
+    if args.engine:
+        set_default_engine(args.engine)
 
     names = sorted(_EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]

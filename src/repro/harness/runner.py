@@ -37,6 +37,43 @@ from repro.workloads.spec_like import make_trace
 #: Time-scale for RLTL interval analysis (DESIGN.md).
 DEFAULT_TIME_SCALE = 64.0
 
+#: Engine used when a run does not name one explicitly; ``None`` keeps
+#: :class:`SimulationConfig`'s own default ("event").  The CLI's
+#: ``--engine`` flag overrides it process-wide via
+#: :func:`set_default_engine`.
+_default_engine: Optional[str] = None
+
+
+def set_default_engine(engine: Optional[str]) -> None:
+    """Select the simulation engine for every subsequent harness run.
+
+    ``engine`` is "event", "dense", or None (restore the config
+    default).  Results are memoised per engine, so switching engines
+    never returns a stale cross-engine result.
+    """
+    global _default_engine
+    if engine is not None:
+        from repro.config import ENGINES
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}")
+    _default_engine = engine
+
+
+def _resolve_engine(engine: Optional[str]) -> str:
+    """Resolve to a concrete engine name.
+
+    Always concrete (never None) so memo keys for "engine left default"
+    and "engine named explicitly" collide onto one cache entry.
+    """
+    if engine is not None:
+        return engine
+    if _default_engine is not None:
+        return _default_engine
+    from repro.config import DEFAULT_ENGINE
+    return DEFAULT_ENGINE
+
+
 #: Time-scale for ChargeCache invalidation pacing.  Deliberately much
 #: smaller than the RLTL scale: the paper's physical 1 ms duration is
 #: ~800k bus cycles, far above any row-reuse gap, so invalidation has
@@ -92,7 +129,8 @@ def build_config(mode: str, mechanism: str, scale: Optional[Scale] = None,
                  cc_duration_ms: Optional[float] = None,
                  cc_sharing: Optional[str] = None,
                  cc_unbounded: bool = False,
-                 row_policy: Optional[str] = None) -> SimulationConfig:
+                 row_policy: Optional[str] = None,
+                 engine: Optional[str] = None) -> SimulationConfig:
     """A paper-faithful configuration for one run.
 
     ``mode`` is "single" (1 core, 1 channel, open-row) or "eight"
@@ -131,6 +169,7 @@ def build_config(mode: str, mechanism: str, scale: Optional[Scale] = None,
     if row_policy is not None:
         cfg = replace(cfg, controller=replace(cfg.controller,
                                               row_policy=row_policy))
+    cfg = replace(cfg, engine=_resolve_engine(engine))
     cfg.validate()
     return cfg
 
@@ -163,18 +202,22 @@ def run_workload(name: str, mechanism: str = "none",
                  cc_duration_ms: Optional[float] = None,
                  cc_unbounded: bool = False,
                  idle_finished: bool = False,
-                 seed: int = 1) -> RunResult:
+                 seed: int = 1,
+                 engine: Optional[str] = None) -> RunResult:
     """Run one workload on the single-core system (memoised)."""
     scale = scale or current_scale()
+    engine = _resolve_engine(engine)
     key = ("single", name, mechanism, scale, enable_rltl, row_policy,
-           cc_entries, cc_duration_ms, cc_unbounded, idle_finished, seed)
+           cc_entries, cc_duration_ms, cc_unbounded, idle_finished, seed,
+           engine)
 
     def factory() -> RunResult:
         cfg = build_config("single", mechanism, scale,
                            cc_entries=cc_entries,
                            cc_duration_ms=cc_duration_ms,
                            cc_unbounded=cc_unbounded,
-                           row_policy=row_policy)
+                           row_policy=row_policy,
+                           engine=engine)
         if idle_finished:
             cfg = replace(cfg, idle_finished_cores=True)
         org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
@@ -194,18 +237,22 @@ def run_mix(mix: str, mechanism: str = "none",
             cc_duration_ms: Optional[float] = None,
             cc_unbounded: bool = False,
             idle_finished: bool = False,
-            seed: int = 1) -> RunResult:
+            seed: int = 1,
+            engine: Optional[str] = None) -> RunResult:
     """Run one 8-core mix on the eight-core system (memoised)."""
     scale = scale or current_scale()
+    engine = _resolve_engine(engine)
     key = ("eight", mix, mechanism, scale, enable_rltl, row_policy,
-           cc_entries, cc_duration_ms, cc_unbounded, idle_finished, seed)
+           cc_entries, cc_duration_ms, cc_unbounded, idle_finished, seed,
+           engine)
 
     def factory() -> RunResult:
         cfg = build_config("eight", mechanism, scale,
                            cc_entries=cc_entries,
                            cc_duration_ms=cc_duration_ms,
                            cc_unbounded=cc_unbounded,
-                           row_policy=row_policy)
+                           row_policy=row_policy,
+                           engine=engine)
         if idle_finished:
             cfg = replace(cfg, idle_finished_cores=True)
         org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
@@ -218,17 +265,19 @@ def run_mix(mix: str, mechanism: str = "none",
 
 
 def run_alone(name: str, scale: Optional[Scale] = None,
-              seed: int = 1) -> RunResult:
+              seed: int = 1, engine: Optional[str] = None) -> RunResult:
     """One application alone on the eight-core platform (for WS)."""
     scale = scale or current_scale()
-    key = ("alone", name, scale, seed)
+    engine = _resolve_engine(engine)
+    key = ("alone", name, scale, seed, engine)
 
     def factory() -> RunResult:
         cfg = eight_core_config("none")
         cfg = replace(cfg,
                       processor=replace(cfg.processor, num_cores=1),
                       instruction_limit=scale.multi_core_instructions,
-                      warmup_cpu_cycles=scale.warmup_cpu_cycles)
+                      warmup_cpu_cycles=scale.warmup_cpu_cycles,
+                      engine=engine)
         org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
         system = System(cfg, [make_trace(name, org, seed=seed)])
         return system.run(max_mem_cycles=scale.max_mem_cycles)

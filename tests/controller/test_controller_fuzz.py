@@ -115,10 +115,16 @@ class TestFuzzedStreams:
     @settings(max_examples=30, deadline=None)
     def test_latency_ordering_base_vs_chargecache(self, ops):
         """ChargeCache never increases a stream's drain time by more
-        than scheduling noise (it only relaxes constraints)."""
+        than scheduling noise (it only relaxes constraints).
+
+        The noise bound is one write-to-read turnaround plus a few
+        command slots: an earlier PRE (reduced tRAS) can reshuffle
+        which requests win FR-FCFS arbitration and insert one extra
+        read/write turnaround into the tail of the stream.
+        """
         mc_base = _build(DefaultTiming(T))
         _, _, _, end_base = _drive(mc_base, ops)
         cc = ChargeCache(T, ChargeCacheConfig(time_scale=1024.0), 1)
         mc_cc = _build(cc)
         _, _, _, end_cc = _drive(mc_cc, ops)
-        assert end_cc <= end_base + 50
+        assert end_cc <= end_base + 100

@@ -1,0 +1,106 @@
+"""Golden parity: the event engine must be bit-identical to dense.
+
+The event engine (``SimulationConfig.engine="event"``) skips cycles it
+can prove are no-ops.  These tests assert that on representative
+single-core and eight-core workloads, under every latency mechanism,
+every counter field of the :class:`RunResult` matches the dense
+tick-per-cycle reference exactly - not approximately.  Any divergence
+means a wake-up bound overestimated (an action cycle was skipped) and
+is a correctness bug, not noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cpu.system import RunResult, System
+from repro.dram.organization import Organization
+from repro.workloads.synthetic import random_trace, stream_trace, zipf_trace
+
+from tests.conftest import tiny_config
+
+#: Every RunResult field that must match bit-for-bit.
+PARITY_FIELDS = (
+    "mem_cycles", "cpu_cycles", "instructions", "core_cycles", "ipcs",
+    "llc_hit_rate", "llc_load_misses", "activations", "act_reduced",
+    "reads", "writes", "refreshes", "row_hit_rate",
+    "average_read_latency_cycles", "mechanism_lookups", "mechanism_hits",
+    "active_bank_cycles", "rank_active_cycles", "work_instructions",
+    "truncated",
+)
+
+MECHANISMS = ("none", "chargecache", "nuat", "lldram")
+
+
+def _traces(cfg, pattern: str):
+    org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
+    traces = []
+    for core in range(cfg.processor.num_cores):
+        seed = core + 1
+        if pattern == "stream":
+            traces.append(stream_trace(org, 1 << 20, 10.0, seed=seed,
+                                       num_streams=2))
+        elif pattern == "zipf":
+            traces.append(zipf_trace(org, 1 << 21, 6.0, seed=seed,
+                                     write_fraction=0.2))
+        else:
+            traces.append(random_trace(org, 1 << 21, 8.0, seed=seed,
+                                       write_fraction=0.25))
+    return traces
+
+
+def _run(cfg, pattern: str, max_mem_cycles: int = 600_000) -> RunResult:
+    system = System(cfg, _traces(cfg, pattern))
+    return system.run(max_mem_cycles=max_mem_cycles)
+
+
+def assert_parity(cfg, pattern: str, max_mem_cycles: int = 600_000):
+    dense = _run(cfg.with_engine("dense"), pattern, max_mem_cycles)
+    event = _run(cfg.with_engine("event"), pattern, max_mem_cycles)
+    for field in PARITY_FIELDS:
+        assert getattr(event, field) == getattr(dense, field), (
+            f"engine divergence on {field!r}: "
+            f"event={getattr(event, field)!r} dense={getattr(dense, field)!r}")
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_single_core_parity(mechanism):
+    cfg = tiny_config(mechanism=mechanism, instruction_limit=3000)
+    assert_parity(cfg, "random")
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_eight_core_parity(mechanism):
+    cfg = tiny_config(mechanism=mechanism, num_cores=8, channels=2,
+                      row_policy="closed", instruction_limit=1200,
+                      warmup=2000)
+    assert_parity(cfg, "zipf")
+
+
+def test_streaming_parity_with_writes_and_drains():
+    cfg = tiny_config(mechanism="chargecache", instruction_limit=4000)
+    assert_parity(cfg, "stream")
+
+
+def test_truncated_run_parity():
+    cfg = tiny_config(instruction_limit=10 ** 7)
+    assert_parity(cfg, "random", max_mem_cycles=3_000)
+
+
+def test_tiny_queue_retry_pressure_parity():
+    """Tiny queues keep the LLC retry lists populated, exercising the
+    dense-mirroring per-cycle stepping for parked requests (including
+    the parked-read-forwards-from-new-store path)."""
+    from repro.config import ControllerConfig
+
+    cfg = tiny_config(instruction_limit=4000)
+    cfg = replace(cfg, controller=ControllerConfig(read_queue_size=2,
+                                                   write_queue_size=2))
+    assert_parity(cfg, "random", max_mem_cycles=900_000)
+
+
+def test_event_engine_is_default():
+    cfg = tiny_config()
+    assert cfg.engine == "event"
