@@ -23,6 +23,20 @@ from repro.harness.report import render_experiment
 from repro.harness.runner import current_scale
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _no_persistent_run_cache():
+    """Benchmarks measure simulation, so the persistent run cache must
+    stay out of the loop: a warm ~/.cache/chargecache-repro would turn
+    every recorded figure time into JSON-decode time (and a cold run
+    would pollute the user's real cache).  The in-process memo still
+    applies — cross-figure run reuse is part of what the harness is."""
+    from repro.harness import runner
+    prev = (runner._disk_enabled, runner._disk_dir)
+    runner.configure_disk_cache(None, enabled=False)
+    yield
+    runner.configure_disk_cache(prev[1], enabled=prev[0])
+
+
 @pytest.fixture(scope="session")
 def scale():
     return current_scale()

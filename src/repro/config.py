@@ -16,6 +16,7 @@ The defaults mirror Table 1 of the paper (HPCA 2016):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 #: CPU clock frequency used throughout the paper's evaluation (Table 1).
 DEFAULT_CPU_FREQ_GHZ = 4.0
@@ -188,6 +189,32 @@ class NUATConfig:
 
 
 @dataclass(frozen=True)
+class ExecutionConfig:
+    """How the harness executes runs — not *what* a run computes.
+
+    These knobs never change simulation results, only wall-clock and
+    storage behaviour, so they are **excluded from run-cache keys**
+    (see DESIGN.md section 4): a result computed with ``jobs=8`` must
+    satisfy a later ``jobs=1`` request and vice versa.
+
+    ``jobs`` is the process-pool width for sweep fan-out: ``None``
+    defers to the ``REPRO_JOBS`` environment variable (default serial),
+    ``0`` means one worker per CPU, ``1`` forces serial in-process
+    execution.  ``cache_dir=None`` defers to ``REPRO_CACHE_DIR`` or
+    ``~/.cache/chargecache-repro``; ``use_run_cache=False`` bypasses
+    the persistent layer entirely (the in-memory memo still applies).
+    """
+
+    jobs: Optional[int] = None
+    cache_dir: Optional[str] = None
+    use_run_cache: bool = True
+
+    def validate(self) -> None:
+        if self.jobs is not None and self.jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 = one per CPU)")
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Aggregate configuration for one simulation run."""
 
@@ -197,6 +224,9 @@ class SimulationConfig:
     controller: ControllerConfig = field(default_factory=ControllerConfig)
     chargecache: ChargeCacheConfig = field(default_factory=ChargeCacheConfig)
     nuat: NUATConfig = field(default_factory=NUATConfig)
+    #: Harness execution policy (pool width, run-cache location).
+    #: Never part of run-cache keys; see :class:`ExecutionConfig`.
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     mechanism: str = "none"
     #: Simulation stops when every core retired this many instructions.
     instruction_limit: int = 100_000
@@ -228,6 +258,7 @@ class SimulationConfig:
         self.controller.validate()
         self.chargecache.validate()
         self.nuat.validate()
+        self.execution.validate()
         if self.mechanism not in MECHANISMS:
             raise ValueError(
                 f"unknown mechanism {self.mechanism!r}; expected one of {MECHANISMS}")

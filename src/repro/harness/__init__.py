@@ -5,14 +5,21 @@ Every experiment in the paper's evaluation can be regenerated with
 pytest-benchmark suite, or the ``chargecache-harness`` CLI.
 """
 
+from repro.harness.spec import RunSpec, Scale, current_scale
+from repro.harness.cache import RunCache, cache_key, code_fingerprint
+from repro.harness.pool import Sweep, SweepError, SweepPoint, execute_sweep
 from repro.harness.runner import (
-    Scale,
-    current_scale,
     build_config,
     run_workload,
     run_mix,
+    run_spec,
     alone_ipcs_for_mix,
     clear_caches,
+    clear_memo,
+    configure_disk_cache,
+    workload_spec,
+    mix_spec,
+    alone_spec,
 )
 from repro.harness.experiments import (
     run_fig3,
@@ -30,13 +37,27 @@ from repro.harness.experiments import (
 from repro.harness.report import format_table, format_percent
 
 __all__ = [
+    "RunSpec",
     "Scale",
+    "RunCache",
+    "cache_key",
+    "code_fingerprint",
+    "Sweep",
+    "SweepError",
+    "SweepPoint",
+    "execute_sweep",
     "current_scale",
     "build_config",
     "run_workload",
     "run_mix",
+    "run_spec",
     "alone_ipcs_for_mix",
     "clear_caches",
+    "clear_memo",
+    "configure_disk_cache",
+    "workload_spec",
+    "mix_spec",
+    "alone_spec",
     "run_fig3",
     "run_fig4",
     "run_fig6",

@@ -1,0 +1,364 @@
+"""Persistent content-addressed run cache.
+
+Simulation results are pure functions of (spec, code): a
+:class:`~repro.harness.spec.RunSpec` plus the exact simulator sources
+determines every counter in the :class:`~repro.cpu.system.RunResult`
+bit for bit (the engine-parity suite enforces this).  That makes runs
+safe to memoise *across processes*: this module stores each result as
+versioned JSON under a cache directory keyed by
+
+    sha256(schema version, spec.key_payload(), code fingerprint)
+
+where the code fingerprint hashes every ``repro`` source file, so any
+change to the simulator — not just to the spec — invalidates every
+entry automatically.  Stale entries are never deleted eagerly; they are
+simply unreachable under the new fingerprint (``RunCache.clear`` or
+cache-dir garbage collection reclaims them).
+
+Layout (DESIGN.md section 4)::
+
+    <cache-dir>/
+        <64-hex-digit key>.json     one RunResult envelope per run
+
+Envelopes carry ``schema``, ``fingerprint``, the originating ``spec``
+payload (for inspection; the key already commits to it) and the
+``result``.  Any unreadable, truncated, schema-mismatched or otherwise
+corrupt file is treated as a miss — the run is simply recomputed — so a
+crashed writer can never poison the cache.  Writes go through a
+temp-file + atomic rename, so concurrent pool workers racing on the
+same key at worst both compute and one wins the rename.
+
+The directory resolves, in priority order: explicit ``RunCache(root)``
+argument (the CLI's ``--cache-dir``), the ``REPRO_CACHE_DIR``
+environment variable, then ``~/.cache/chargecache-repro``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional
+
+from repro.config import (
+    CacheConfig,
+    ChargeCacheConfig,
+    ControllerConfig,
+    DRAMConfig,
+    ExecutionConfig,
+    NUATConfig,
+    ProcessorConfig,
+    SimulationConfig,
+)
+from repro.cpu.system import RunResult
+from repro.harness.spec import RunSpec
+from repro.stats.reuse import RowReuseProfiler
+from repro.stats.rltl import RLTLProbe
+
+#: Bump whenever the envelope or RunResult JSON layout changes shape;
+#: old entries then read as misses instead of mis-parsing.
+SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/chargecache-repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "chargecache-repro")
+
+
+# ----------------------------------------------------------------------
+# Code fingerprint
+# ----------------------------------------------------------------------
+
+_fingerprint_cache: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hex digest over every ``repro`` source file's bytes.
+
+    Computed once per process (sources cannot change under a running
+    simulation).  Hashing contents rather than mtimes keeps the
+    fingerprint identical across checkouts, containers and CI runners,
+    which is what lets a CI cache artifact be reused at all.
+    """
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        import repro
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        paths = []
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for fn in filenames:
+                if fn.endswith(".py"):
+                    paths.append(os.path.join(dirpath, fn))
+        for path in sorted(paths):
+            digest.update(os.path.relpath(path, root).encode())
+            digest.update(b"\0")
+            with open(path, "rb") as fh:
+                digest.update(fh.read())
+            digest.update(b"\0")
+        _fingerprint_cache = digest.hexdigest()
+    return _fingerprint_cache
+
+
+def cache_key(spec: RunSpec, fingerprint: Optional[str] = None) -> str:
+    """Stable content hash naming ``spec``'s result file.
+
+    The payload is canonical JSON (sorted keys, no whitespace
+    variance), so the key is identical across processes, platforms and
+    dict orderings; any field change — seed, engine, a single scale
+    knob — produces an unrelated key.
+    """
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "fingerprint": fingerprint or code_fingerprint(),
+        "spec": spec.key_payload(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("ascii")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# RunResult <-> JSON codec
+# ----------------------------------------------------------------------
+
+def config_to_json(cfg: SimulationConfig) -> Dict:
+    return dataclasses.asdict(cfg)
+
+
+def config_from_json(data: Dict) -> SimulationConfig:
+    nuat = dict(data["nuat"])
+    nuat["bin_edges_ms"] = tuple(nuat["bin_edges_ms"])
+    return SimulationConfig(
+        processor=ProcessorConfig(**data["processor"]),
+        cache=CacheConfig(**data["cache"]),
+        dram=DRAMConfig(**data["dram"]),
+        controller=ControllerConfig(**data["controller"]),
+        chargecache=ChargeCacheConfig(**data["chargecache"]),
+        nuat=NUATConfig(**nuat),
+        execution=ExecutionConfig(**data.get("execution", {})),
+        mechanism=data["mechanism"],
+        instruction_limit=data["instruction_limit"],
+        warmup_cpu_cycles=data["warmup_cpu_cycles"],
+        seed=data["seed"],
+        idle_finished_cores=data["idle_finished_cores"],
+        temperature_c=data["temperature_c"],
+        engine=data["engine"],
+    )
+
+
+class _CodecTiming:
+    """Just enough of TimingParameters to rebuild a restored probe."""
+
+    def __init__(self, tck_ns: float):
+        self.tCK_ns = tck_ns
+
+    def ms_to_cycles(self, ms: float) -> int:
+        return int(round(ms * 1e6 / self.tCK_ns))
+
+
+def _rltl_to_json(probe: RLTLProbe) -> Dict:
+    return {
+        "intervals_ms": list(probe.intervals_ms),
+        "time_scale": probe.time_scale,
+        "tck_ns": probe.timing.tCK_ns,
+        "activations": probe.activations,
+        "precharges": probe.precharges,
+        "cold_activations": probe.cold_activations,
+        "gap_sum_cycles": probe.gap_sum_cycles,
+        "rltl_counts": list(probe.rltl_counts),
+        "refresh_counts": list(probe.refresh_counts),
+    }
+
+
+def _rltl_from_json(data: Dict) -> RLTLProbe:
+    probe = RLTLProbe(_CodecTiming(data["tck_ns"]),
+                      intervals_ms=tuple(data["intervals_ms"]),
+                      time_scale=data["time_scale"])
+    probe.activations = data["activations"]
+    probe.precharges = data["precharges"]
+    probe.cold_activations = data["cold_activations"]
+    probe.gap_sum_cycles = data["gap_sum_cycles"]
+    probe.rltl_counts = list(data["rltl_counts"])
+    probe.refresh_counts = list(data["refresh_counts"])
+    return probe
+
+
+def _reuse_to_json(profiler: RowReuseProfiler) -> Dict:
+    return {
+        "stack": [list(key) for key in profiler._stack],
+        "histogram": {str(d): n for d, n in profiler.histogram.items()},
+        "cold": profiler.cold,
+        "activations": profiler.activations,
+    }
+
+
+def _reuse_from_json(data: Dict) -> RowReuseProfiler:
+    profiler = RowReuseProfiler()
+    for key in data["stack"]:
+        profiler._stack[tuple(key)] = None
+    profiler.histogram = {int(d): n for d, n in data["histogram"].items()}
+    profiler.cold = data["cold"]
+    profiler.activations = data["activations"]
+    return profiler
+
+
+#: RunResult fields persisted verbatim (ints, floats, bools, flat
+#: lists of numbers — everything JSON round-trips exactly).
+_PLAIN_FIELDS = (
+    "mem_cycles", "cpu_cycles", "instructions", "core_cycles", "ipcs",
+    "llc_hit_rate", "llc_load_misses", "activations", "act_reduced",
+    "reads", "writes", "refreshes", "row_hit_rate",
+    "average_read_latency_cycles", "mechanism_lookups", "mechanism_hits",
+    "active_bank_cycles", "rank_active_cycles", "work_instructions",
+    "truncated",
+)
+
+
+def _check_codec_covers_runresult() -> None:
+    """Fail fast if RunResult grows a field the codec does not carry.
+
+    Without this, a new field would silently reset to its default on
+    every disk hit and every pool-worker result — breaking the
+    jobs=1 vs jobs=N byte-identity invariant with all tests green.
+    """
+    covered = set(_PLAIN_FIELDS) | {"config", "extra", "rltl", "reuse"}
+    actual = {f.name for f in dataclasses.fields(RunResult)}
+    if covered != actual:
+        raise TypeError(
+            "RunResult/codec field mismatch: "
+            f"missing={sorted(actual - covered)} "
+            f"stale={sorted(covered - actual)} — update "
+            "repro.harness.cache (_PLAIN_FIELDS or a dedicated codec) "
+            "and bump SCHEMA_VERSION")
+
+
+_check_codec_covers_runresult()
+
+
+def result_to_json(result: RunResult) -> Dict:
+    data = {name: getattr(result, name) for name in _PLAIN_FIELDS}
+    data["config"] = config_to_json(result.config)
+    data["extra"] = dict(result.extra)
+    data["rltl"] = _rltl_to_json(result.rltl) if result.rltl else None
+    data["reuse"] = _reuse_to_json(result.reuse) if result.reuse else None
+    return data
+
+
+def result_from_json(data: Dict) -> RunResult:
+    kwargs = {name: data[name] for name in _PLAIN_FIELDS}
+    rltl = data.get("rltl")
+    reuse = data.get("reuse")
+    return RunResult(
+        config=config_from_json(data["config"]),
+        extra=dict(data.get("extra") or {}),
+        rltl=_rltl_from_json(rltl) if rltl else None,
+        reuse=_reuse_from_json(reuse) if reuse else None,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# The on-disk store
+# ----------------------------------------------------------------------
+
+class RunCache:
+    """One cache directory of RunResult envelopes.
+
+    Thread- and process-safe by construction: reads never lock (a
+    corrupt or in-flight file is a miss) and writes are atomic renames.
+    ``hits``/``misses``/``stores`` count this instance's traffic for
+    progress reporting.
+    """
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = os.path.abspath(root or default_cache_dir())
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or None (any failure = miss)."""
+        try:
+            with open(self.path_for(key), "r", encoding="ascii") as fh:
+                envelope = json.load(fh)
+            if not isinstance(envelope, dict) \
+                    or envelope.get("schema") != SCHEMA_VERSION:
+                raise ValueError("schema mismatch")
+            result = result_from_json(envelope["result"])
+        except (OSError, ValueError, KeyError, TypeError,
+                AttributeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, spec: RunSpec, result: RunResult) -> str:
+        """Persist ``result`` under ``key``; returns the file path."""
+        envelope = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "fingerprint": code_fingerprint(),
+            "spec": spec.key_payload(),
+            "result": result_to_json(result),
+        }
+        os.makedirs(self.root, exist_ok=True)
+        path = self.path_for(key)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="ascii") as fh:
+                json.dump(envelope, fh)
+            os.replace(tmp, path)
+        except Exception:
+            # Also covers json TypeError on an unserialisable result:
+            # never leave a stray temp file behind.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    def contains(self, key: str) -> bool:
+        return os.path.exists(self.path_for(key))
+
+    def keys(self) -> List[str]:
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return sorted(n[:-5] for n in names
+                      if n.endswith(".json") and len(n) == 69)
+
+    def clear(self) -> int:
+        """Delete every entry (and stray temp file); returns the count."""
+        removed = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return 0
+        for name in names:
+            if name.endswith(".json") or name.endswith(".tmp"):
+                try:
+                    os.unlink(os.path.join(self.root, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        return len(self.keys())

@@ -3,9 +3,16 @@
 Examples::
 
     chargecache-harness table2
-    chargecache-harness fig7a --scale 0.5
+    chargecache-harness fig7a --scale 0.5 --jobs 8
     chargecache-harness fig7b --workloads w1 w2 w3
-    chargecache-harness all --json results.json
+    chargecache-harness all --json results.json --cache-dir /tmp/cc
+    chargecache-harness fig9 --no-cache --jobs 0   # recompute, all CPUs
+
+Sweep points fan out over ``--jobs`` worker processes and are memoised
+in a persistent content-addressed run cache (default
+``~/.cache/chargecache-repro``, see DESIGN.md section 4), so re-running
+an experiment — in this process or any later one — only simulates
+points it has never seen.
 """
 
 from __future__ import annotations
@@ -15,10 +22,14 @@ import json
 import sys
 from typing import Dict, List, Optional
 
-from repro.config import ENGINES
-from repro.harness import experiments
+from repro.config import ENGINES, ExecutionConfig
+from repro.harness import experiments, pool
 from repro.harness.report import render_experiment
-from repro.harness.runner import current_scale, set_default_engine
+from repro.harness.runner import (
+    apply_execution_config,
+    current_scale,
+    set_default_engine,
+)
 
 #: Experiment name -> callable(workloads, scale) -> result dict.
 _EXPERIMENTS = {
@@ -39,6 +50,17 @@ _EXPERIMENTS = {
 }
 
 
+def _jobs_arg(text: str) -> int:
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            "jobs must be >= 0 (0 = one worker per CPU)")
+    return jobs
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="chargecache-harness",
@@ -55,11 +77,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="simulation engine: 'event' (default) skips "
                              "provably idle cycles, 'dense' ticks every "
                              "bus cycle; both give identical statistics")
+    parser.add_argument("--jobs", "-j", type=_jobs_arg, default=None,
+                        metavar="N",
+                        help="fan sweep points out over N worker "
+                             "processes (default: $REPRO_JOBS or 1 = "
+                             "serial; 0 = one per CPU); results are "
+                             "identical for every N")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="persistent run-cache directory (default: "
+                             "$REPRO_CACHE_DIR or "
+                             "~/.cache/chargecache-repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent run cache (recompute "
+                             "every sweep point; nothing is read or "
+                             "written on disk)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print one line per completed sweep point "
+                             "to stderr")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also dump raw results as JSON")
     parser.add_argument("--csv", metavar="DIR", default=None,
-                        help="also write one CSV per experiment to DIR")
+                        help="also write one CSV per experiment to DIR, "
+                             "plus a cache_manifest.csv recording which "
+                             "sweep points were cache hits")
     return parser
+
+
+def _cache_summary(result: Dict) -> Optional[str]:
+    from repro.harness.report import render_cache_annotation
+    note = render_cache_annotation(result.get("cache"))
+    return f"{result.get('id', 'experiment')} {note}" if note else None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -70,6 +117,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.engine:
         set_default_engine(args.engine)
 
+    execution = ExecutionConfig(jobs=args.jobs, cache_dir=args.cache_dir,
+                                use_run_cache=not args.no_cache)
+    apply_execution_config(execution)
+    experiments.set_default_jobs(args.jobs)
+    experiments.set_progress(pool.stderr_progress if args.progress
+                             else None)
+
     names = sorted(_EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     results: Dict[str, Dict] = {}
@@ -78,6 +132,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         results[name] = result
         print(render_experiment(result))
         print()
+        summary = _cache_summary(result)
+        if summary:
+            print(summary, file=sys.stderr)
 
     if args.json:
         with open(args.json, "w", encoding="ascii") as fh:
@@ -86,11 +143,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.csv:
         import os
-        from repro.harness.export import write_csv
+        from repro.harness.export import export_cache_manifest, write_csv
         os.makedirs(args.csv, exist_ok=True)
         for name, result in results.items():
             path = os.path.join(args.csv, f"{name}.csv")
             write_csv(result, path)
+        manifest = export_cache_manifest(results)
+        if manifest:
+            path = os.path.join(args.csv, "cache_manifest.csv")
+            with open(path, "w", encoding="ascii", newline="") as fh:
+                fh.write(manifest)
         print(f"CSV files written to {args.csv}", file=sys.stderr)
     return 0
 

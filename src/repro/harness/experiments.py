@@ -5,6 +5,18 @@ Every ``run_*`` function returns a plain dict (JSON-friendly) with a
 render or assert on.  Workload subsets default to the full paper sets;
 benchmarks pass smaller subsets where a sweep would otherwise dominate
 wall-clock time (recorded in EXPERIMENTS.md).
+
+Execution model: each simulation-backed experiment first **declares**
+its complete sweep as a flat list of :class:`~repro.harness.spec.RunSpec`
+points (including the alone-runs that weighted speedup needs) and hands
+it to :func:`repro.harness.pool.execute_sweep`, which fans the points
+out over worker processes and the persistent run cache.  The
+aggregation code below then re-requests runs through the classic
+``run_workload``/``run_mix`` entry points, which hit the freshly
+back-filled in-process memo — so shaping logic stays sequential and
+readable while all simulation happens in parallel.  Experiments with a
+sweep attach a ``"cache"`` annotation to their result dict recording,
+per point, whether it was served from memory, disk, or computed.
 """
 
 from __future__ import annotations
@@ -21,13 +33,18 @@ from repro.config import eight_core_config, single_core_config
 from repro.dram.timing import DDR3_1600
 from repro.energy.drampower import energy_for_run
 from repro.energy.mcpat import hcrac_overhead, overhead_for_config
+from repro.harness import pool
 from repro.harness.runner import (
     Scale,
     alone_ipcs_for_mix,
+    alone_specs_for_mix,
     current_scale,
+    mix_spec,
     run_mix,
     run_workload,
+    workload_spec,
 )
+from repro.harness.spec import RunSpec
 from repro.stats.metrics import weighted_speedup
 from repro.workloads.mixes import MIX_NAMES
 from repro.workloads.spec_like import WORKLOAD_NAMES
@@ -40,6 +57,32 @@ FIG9_CAPACITIES = (64, 128, 256, 512, 1024, 2048)
 
 #: Caching-duration sweep of Figure 11 (ms).
 FIG11_DURATIONS = (1.0, 4.0, 8.0, 16.0)
+
+#: Pool width for experiment sweeps; None defers to REPRO_JOBS / serial.
+_default_jobs: Optional[int] = None
+
+#: Optional per-point progress callback (the CLI installs one).
+_progress_fn = None
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the pool width used by every subsequent experiment sweep."""
+    global _default_jobs
+    if jobs is not None:
+        pool.resolve_jobs(jobs)  # validate eagerly
+    _default_jobs = jobs
+
+
+def set_progress(progress) -> None:
+    """Install a progress callback for sweep execution (None = quiet)."""
+    global _progress_fn
+    _progress_fn = progress
+
+
+def _prefetch(specs: Sequence[RunSpec]) -> pool.Sweep:
+    """Fan a declared sweep out; results land in the runner memo."""
+    return pool.execute_sweep(specs, jobs=_default_jobs,
+                              progress=_progress_fn)
 
 
 def _mean(values: Iterable[float]) -> float:
@@ -56,8 +99,10 @@ def run_fig3(mode: str = "single",
              scale: Optional[Scale] = None) -> Dict:
     """Fraction of activations within 8 ms of own precharge vs refresh."""
     scale = scale or current_scale()
-    rows = []
     names = _names_for(mode, workloads)
+    sweep = _prefetch([_spec(mode, name, "none", scale, enable_rltl=True)
+                       for name in names])
+    rows = []
     for name in names:
         result = _run_for(mode, name, "none", scale, enable_rltl=True)
         probe = result.rltl
@@ -74,7 +119,8 @@ def run_fig3(mode: str = "single",
         "activations": sum(r["activations"] for r in rows),
     })
     return {"id": f"fig3{'a' if mode == 'single' else 'b'}",
-            "mode": mode, "time_scale": scale.time_scale, "rows": rows}
+            "mode": mode, "time_scale": scale.time_scale, "rows": rows,
+            "cache": sweep.annotation()}
 
 
 # ----------------------------------------------------------------------
@@ -87,8 +133,12 @@ def run_fig4(mode: str = "single",
              scale: Optional[Scale] = None) -> Dict:
     """t-RLTL for several intervals under both row policies."""
     scale = scale or current_scale()
-    rows = []
     names = _names_for(mode, workloads)
+    sweep = _prefetch([
+        _spec(mode, name, "none", scale, enable_rltl=True,
+              row_policy=policy)
+        for name in names for policy in ("open", "closed")])
+    rows = []
     for name in names:
         row = {"workload": name}
         for policy in ("open", "closed"):
@@ -104,7 +154,8 @@ def run_fig4(mode: str = "single",
     rows.append(avg)
     return {"id": f"fig4{'a' if mode == 'single' else 'b'}",
             "mode": mode, "intervals_ms": list(intervals_ms),
-            "time_scale": scale.time_scale, "rows": rows}
+            "time_scale": scale.time_scale, "rows": rows,
+            "cache": sweep.annotation()}
 
 
 # ----------------------------------------------------------------------
@@ -181,6 +232,10 @@ def run_fig7(mode: str = "single",
     """Speedup of each mechanism over baseline, plus RMPKC."""
     scale = scale or current_scale()
     names = _names_for(mode, workloads)
+    specs = [_spec(mode, name, mech, scale)
+             for name in names for mech in ("none",) + tuple(mechanisms)]
+    specs += _ws_specs(mode, names, scale)
+    sweep = _prefetch(specs)
     rows = []
     for name in names:
         row = {"workload": name}
@@ -201,7 +256,8 @@ def run_fig7(mode: str = "single",
     rows.sort(key=lambda r: r["rmpkc"])
     rows.append(avg)
     return {"id": f"fig7{'a' if mode == 'single' else 'b'}",
-            "mode": mode, "mechanisms": list(mechanisms), "rows": rows}
+            "mode": mode, "mechanisms": list(mechanisms), "rows": rows,
+            "cache": sweep.annotation()}
 
 
 # ----------------------------------------------------------------------
@@ -221,6 +277,10 @@ def run_fig8(modes: Sequence[str] = ("single", "eight"),
     ratio (both runs retire exactly the instruction limit).
     """
     scale = scale or current_scale()
+    sweep = _prefetch([
+        _spec(mode, name, mech, scale, idle_finished=True)
+        for mode in modes for name in _names_for(mode, workloads)
+        for mech in ("none", "chargecache")])
     rows = []
     for mode in modes:
         names = _names_for(mode, workloads)
@@ -251,7 +311,8 @@ def run_fig8(modes: Sequence[str] = ("single", "eight"),
         })
     return {"id": "fig8", "rows": rows,
             "paper": {"single": {"avg": 0.018, "max": 0.069},
-                      "eight": {"avg": 0.079, "max": 0.141}}}
+                      "eight": {"avg": 0.079, "max": 0.141}},
+            "cache": sweep.annotation()}
 
 
 # ----------------------------------------------------------------------
@@ -264,6 +325,14 @@ def run_fig9(modes: Sequence[str] = ("single", "eight"),
              scale: Optional[Scale] = None) -> Dict:
     """HCRAC hit rate vs capacity, plus the unlimited-size bound."""
     scale = scale or current_scale()
+    specs = []
+    for mode in modes:
+        for name in _names_for(mode, workloads):
+            specs += [_spec(mode, name, "chargecache", scale,
+                            cc_entries=cap) for cap in capacities]
+            specs.append(_spec(mode, name, "chargecache", scale,
+                               cc_unbounded=True))
+    sweep = _prefetch(specs)
     rows = []
     for mode in modes:
         names = _names_for(mode, workloads)
@@ -278,7 +347,8 @@ def run_fig9(modes: Sequence[str] = ("single", "eight"),
                      for n in names]
         rows.append({"mode": mode, "entries": "unlimited",
                      "hit_rate": _mean(unlimited)})
-    return {"id": "fig9", "capacities": list(capacities), "rows": rows}
+    return {"id": "fig9", "capacities": list(capacities), "rows": rows,
+            "cache": sweep.annotation()}
 
 
 def run_fig10(modes: Sequence[str] = ("single", "eight"),
@@ -287,6 +357,15 @@ def run_fig10(modes: Sequence[str] = ("single", "eight"),
               scale: Optional[Scale] = None) -> Dict:
     """Speedup vs HCRAC capacity."""
     scale = scale or current_scale()
+    specs = []
+    for mode in modes:
+        names = _names_for(mode, workloads)
+        for name in names:
+            specs.append(_spec(mode, name, "none", scale))
+            specs += [_spec(mode, name, "chargecache", scale,
+                            cc_entries=cap) for cap in capacities]
+        specs += _ws_specs(mode, names, scale)
+    sweep = _prefetch(specs)
     rows = []
     for mode in modes:
         names = _names_for(mode, workloads)
@@ -300,7 +379,8 @@ def run_fig10(modes: Sequence[str] = ("single", "eight"),
                     speedups.append(perf / base - 1.0)
             rows.append({"mode": mode, "entries": cap,
                          "speedup": _mean(speedups)})
-    return {"id": "fig10", "capacities": list(capacities), "rows": rows}
+    return {"id": "fig10", "capacities": list(capacities), "rows": rows,
+            "cache": sweep.annotation()}
 
 
 # ----------------------------------------------------------------------
@@ -318,6 +398,16 @@ def run_fig11(modes: Sequence[str] = ("single", "eight"),
     1 ms the sweet spot.
     """
     scale = scale or current_scale()
+    specs = []
+    for mode in modes:
+        names = _names_for(mode, workloads)
+        for name in names:
+            specs.append(_spec(mode, name, "none", scale))
+            specs += [_spec(mode, name, "chargecache", scale,
+                            cc_duration_ms=duration)
+                      for duration in durations_ms]
+        specs += _ws_specs(mode, names, scale)
+    sweep = _prefetch(specs)
     rows = []
     for mode in modes:
         names = _names_for(mode, workloads)
@@ -339,7 +429,8 @@ def run_fig11(modes: Sequence[str] = ("single", "eight"),
                 "hit_rate": _mean(hits),
                 "reductions": reductions_for_duration_ms(duration),
             })
-    return {"id": "fig11", "durations_ms": list(durations_ms), "rows": rows}
+    return {"id": "fig11", "durations_ms": list(durations_ms), "rows": rows,
+            "cache": sweep.annotation()}
 
 
 # ----------------------------------------------------------------------
@@ -355,6 +446,7 @@ def run_sec63(scale: Optional[Scale] = None,
     """
     scale = scale or current_scale()
     overhead = hcrac_overhead()  # paper's 8-core, 2-channel, 128-entry
+    sweep = _prefetch([mix_spec(mix, "chargecache", scale)])
     result = run_mix(mix, "chargecache", scale)
     seconds = result.mem_cycles * DDR3_1600.tCK_ns * 1e-9
     rate = ((result.activations + result.reads + result.writes) / seconds
@@ -372,6 +464,7 @@ def run_sec63(scale: Optional[Scale] = None,
                   "area_fraction_of_llc": 0.0024,
                   "average_power_mw": 0.149,
                   "power_fraction_of_llc": 0.0023},
+        "cache": sweep.annotation(),
     }
 
 
@@ -435,6 +528,25 @@ def _names_for(mode: str, workloads: Optional[Sequence[str]]) -> List[str]:
     if workloads is not None:
         return list(workloads)
     return list(WORKLOAD_NAMES) if mode == "single" else list(MIX_NAMES)
+
+
+def _spec(mode: str, name: str, mechanism: str, scale: Scale,
+          **kwargs) -> RunSpec:
+    """Declare one sweep point (mirrors :func:`_run_for`)."""
+    if mode == "single":
+        return workload_spec(name, mechanism, scale, **kwargs)
+    return mix_spec(name, mechanism, scale, **kwargs)
+
+
+def _ws_specs(mode: str, names: Sequence[str],
+              scale: Scale) -> List[RunSpec]:
+    """Alone-run specs backing weighted speedup (eight-core only)."""
+    if mode != "eight":
+        return []
+    specs: List[RunSpec] = []
+    for mix in names:
+        specs += alone_specs_for_mix(mix, scale)
+    return specs
 
 
 def _run_for(mode: str, name: str, mechanism: str, scale: Scale,

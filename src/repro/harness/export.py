@@ -65,6 +65,30 @@ def export_csv(result: Dict) -> str:
     return rows_to_csv(rows)
 
 
+def export_cache_manifest(results: Dict[str, Dict]) -> str:
+    """CSV of sweep-point provenance across experiments.
+
+    One row per sweep point of every experiment that carries a
+    ``"cache"`` annotation: which point it was, whether it was served
+    from the persistent cache ("disk"), the in-process memo
+    ("memory"), or simulated fresh ("computed").  Returns "" when no
+    experiment was annotated (e.g. table1/table2/fig6 only).
+    """
+    rows = []
+    for name, result in results.items():
+        info = result.get("cache")
+        if not info:
+            continue
+        for point in info.get("points_detail", []):
+            rows.append({
+                "experiment": name,
+                "point": point["label"],
+                "source": point["source"],
+                "cache_hit": point["source"] != "computed",
+            })
+    return rows_to_csv(rows)
+
+
 def write_csv(result: Dict, path: str) -> str:
     """Write an experiment's CSV to ``path``; returns the path."""
     text = export_csv(result)

@@ -1,0 +1,246 @@
+"""Process-pool fan-out for experiment sweeps.
+
+Every paper figure is an embarrassingly parallel grid of independent
+(workload, mechanism, parameter, seed) points, so the harness executes
+sweeps as flat :class:`~repro.harness.spec.RunSpec` lists through
+:func:`execute_sweep`:
+
+* **Deterministic ordering** - results come back in spec order no
+  matter how workers finish, so ``--jobs 1`` and ``--jobs N`` produce
+  byte-identical experiment artifacts.
+* **Read-through caching at every layer** - points already in the
+  parent's memo never reach the pool; workers consult (and populate)
+  the persistent cache of :mod:`repro.harness.cache`; worker results
+  cross the process boundary as the same versioned JSON the disk layer
+  stores, then back-fill the parent memo, so aggregation code that
+  re-requests a run hits memory.
+* **Failure surfacing** - a worker exception cancels the remaining
+  sweep and re-raises as :class:`SweepError` naming the failing spec,
+  instead of hanging the sweep or dying with a bare pickle traceback.
+* **Graceful serial fallback** - ``jobs=1`` (the default) never forks;
+  environments without working ``multiprocessing`` degrade to serial
+  with a warning rather than failing.
+
+``jobs`` resolution: explicit argument, else the ``REPRO_JOBS``
+environment variable, else 1 (serial).  ``0`` means one worker per CPU.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cpu.system import RunResult
+from repro.harness import cache as run_cache
+from repro.harness import runner
+from repro.harness.spec import RunSpec, dedupe_specs
+
+#: Environment variable supplying the default pool width.
+JOBS_ENV = "REPRO_JOBS"
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One executed sweep point: its spec, result and provenance."""
+
+    spec: RunSpec
+    result: RunResult
+    #: "memory" | "disk" | "computed" — which layer served the run.
+    source: str
+    seconds: float = 0.0
+
+    @property
+    def cached(self) -> bool:
+        return self.source != "computed"
+
+
+class SweepError(RuntimeError):
+    """A sweep point failed; carries the offending spec."""
+
+    def __init__(self, spec: RunSpec, cause: BaseException):
+        super().__init__(
+            f"sweep point {spec.label()!r} failed: "
+            f"{type(cause).__name__}: {cause}")
+        self.spec = spec
+
+
+class Sweep:
+    """Ordered results of one :func:`execute_sweep` call."""
+
+    def __init__(self, points: List[SweepPoint], jobs: int):
+        self.points = points
+        self.jobs = jobs
+
+    @property
+    def results(self) -> List[RunResult]:
+        return [p.result for p in self.points]
+
+    def _unique_points(self) -> List[SweepPoint]:
+        """One point per distinct spec (duplicates execute only once)."""
+        seen = {}
+        for point in self.points:
+            seen.setdefault(point.spec, point)
+        return list(seen.values())
+
+    def counts(self) -> Dict[str, int]:
+        unique = self._unique_points()
+        counts = {"points": len(unique), "memory": 0, "disk": 0,
+                  "computed": 0}
+        for point in unique:
+            counts[point.source] += 1
+        return counts
+
+    def annotation(self) -> Dict:
+        """JSON-friendly cache/parallelism summary for result dicts."""
+        info = self.counts()
+        info["jobs"] = self.jobs
+        info["points_detail"] = [
+            {"label": p.spec.label(), "source": p.source}
+            for p in self._unique_points()]
+        return info
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Concrete pool width: argument, then the applied
+    :class:`~repro.config.ExecutionConfig` default, then
+    ``REPRO_JOBS``, else 1 (serial); 0 = one per CPU."""
+    if jobs is None:
+        jobs = runner.default_jobs
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV)
+        jobs = int(env) if env else 1
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0 (0 = one per CPU)")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+# A worker re-binds the persistent cache exactly like its parent (the
+# binding is module state, which "spawn" children do not inherit), then
+# serves the spec through the full read-through stack.  The result
+# crosses back as cache-layer JSON: plain data, cheap to pickle, and
+# guaranteed to decode to the same RunResult a disk hit would produce.
+def _pool_worker(payload: Tuple[RunSpec, Optional[str], bool]
+                 ) -> Tuple[Dict, str, float]:
+    spec, cache_dir, cache_enabled = payload
+    runner.configure_disk_cache(cache_dir, enabled=cache_enabled)
+    started = time.perf_counter()
+    result, source = runner.run_spec_ex(spec)
+    return (run_cache.result_to_json(result), source,
+            time.perf_counter() - started)
+
+
+ProgressFn = Callable[[int, int, SweepPoint], None]
+
+
+def execute_sweep(specs: Sequence[RunSpec],
+                  jobs: Optional[int] = None,
+                  progress: Optional[ProgressFn] = None) -> Sweep:
+    """Execute every spec, fanning out over processes when jobs > 1.
+
+    Duplicate specs are computed once; the returned sweep always has
+    one point per input spec, in input order.
+    """
+    specs = list(specs)
+    jobs = resolve_jobs(jobs)
+    unique = dedupe_specs(specs)
+    by_spec: Dict[RunSpec, SweepPoint] = {}
+    total = len(unique)
+    done = 0
+
+    def record(point: SweepPoint) -> None:
+        nonlocal done
+        by_spec[point.spec] = point
+        done += 1
+        if progress is not None:
+            progress(done, total, point)
+
+    # Points the parent can already serve never reach the pool: memo
+    # first, then a parent-side disk probe — a fully warm sweep must
+    # not fork workers just to decode JSON it could read directly.
+    disk = runner.active_disk_cache()
+    pending: List[RunSpec] = []
+    for spec in unique:
+        memo = runner._run_cache.get(spec)
+        if memo is not None:
+            record(SweepPoint(spec, memo, "memory"))
+            continue
+        if disk is not None:
+            hit = disk.get(run_cache.cache_key(spec))
+            if hit is not None:
+                runner._install(spec, hit)
+                record(SweepPoint(spec, hit, "disk"))
+                continue
+        pending.append(spec)
+
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            _run_parallel(pending, min(jobs, len(pending)), record)
+        else:
+            _run_serial(pending, record)
+
+    return Sweep([by_spec[spec] for spec in specs], jobs)
+
+
+def _run_serial(pending: Sequence[RunSpec],
+                record: Callable[[SweepPoint], None]) -> None:
+    for spec in pending:
+        started = time.perf_counter()
+        try:
+            result, source = runner.run_spec_ex(spec)
+        except Exception as exc:
+            raise SweepError(spec, exc) from exc
+        record(SweepPoint(spec, result, source,
+                          time.perf_counter() - started))
+
+
+def _run_parallel(pending: Sequence[RunSpec], jobs: int,
+                  record: Callable[[SweepPoint], None]) -> None:
+    try:
+        from concurrent.futures import FIRST_COMPLETED, \
+            ProcessPoolExecutor, wait
+        executor = ProcessPoolExecutor(max_workers=jobs)
+    except (ImportError, NotImplementedError, OSError,
+            PermissionError) as exc:
+        print(f"warning: process pool unavailable ({exc}); "
+              f"running sweep serially", file=sys.stderr)
+        _run_serial(pending, record)
+        return
+
+    disk = runner.active_disk_cache()
+    cache_dir = disk.root if disk is not None else None
+    with executor:
+        futures = {
+            executor.submit(_pool_worker,
+                            (spec, cache_dir, disk is not None)): spec
+            for spec in pending}
+        not_done = set(futures)
+        try:
+            while not_done:
+                finished, not_done = wait(not_done,
+                                          return_when=FIRST_COMPLETED)
+                for future in finished:
+                    spec = futures[future]
+                    try:
+                        data, source, seconds = future.result()
+                    except Exception as exc:
+                        raise SweepError(spec, exc) from exc
+                    result = run_cache.result_from_json(data)
+                    runner._install(spec, result)
+                    record(SweepPoint(spec, result, source, seconds))
+        except BaseException:
+            # Drop everything still queued so the error surfaces after
+            # at most the in-flight runs, not the whole remaining sweep.
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
+
+
+def stderr_progress(done: int, total: int, point: SweepPoint) -> None:
+    """A plain-text progress reporter for CLI use."""
+    print(f"  [{done}/{total}] {point.spec.label()} ({point.source}"
+          f"{f', {point.seconds:.1f}s' if point.seconds else ''})",
+          file=sys.stderr)

@@ -34,10 +34,28 @@ def _fmt(value) -> str:
 
 
 def render_experiment(result: Dict) -> str:
-    """Render any experiment dict produced by repro.harness.experiments."""
+    """Render any experiment dict produced by repro.harness.experiments.
+
+    Deliberately *excludes* the ``"cache"`` sweep-provenance annotation:
+    the rendered artifact must be byte-identical regardless of cache
+    state, pool width, or engine, so it can be diffed across
+    invocations (the CLI prints :func:`render_cache_annotation` to
+    stderr instead).
+    """
     exp_id = result.get("id", "experiment")
     renderer = _RENDERERS.get(exp_id.rstrip("ab"), _render_generic)
     return renderer(result)
+
+
+def render_cache_annotation(info: Optional[Dict]) -> str:
+    """One-line sweep provenance summary ('' when not annotated)."""
+    if not info:
+        return ""
+    cached = info.get("disk", 0) + info.get("memory", 0)
+    return (f"[run cache: {cached}/{info['points']} points were hits "
+            f"({info.get('disk', 0)} disk, {info.get('memory', 0)} "
+            f"memo); {info.get('computed', 0)} simulated, "
+            f"jobs={info.get('jobs', 1)}]")
 
 
 def _render_generic(result: Dict) -> str:

@@ -3,26 +3,32 @@
 Centralises:
 
 * **Scaling** - the paper simulates 1B instructions per core; a Python
-  simulator cannot.  :class:`Scale` holds the instruction budgets and
-  the time-scale used for RLTL intervals and ChargeCache invalidation
-  pacing (see DESIGN.md).  The environment variables ``REPRO_SCALE``
-  (float multiplier on instruction budgets) and ``REPRO_FULL=1``
-  (8x budgets) adjust every experiment uniformly.
+  simulator cannot.  :class:`Scale` (see :mod:`repro.harness.spec`)
+  holds the instruction budgets and the time-scale used for RLTL
+  intervals and ChargeCache invalidation pacing (see DESIGN.md).  The
+  environment variables ``REPRO_SCALE`` (float multiplier on
+  instruction budgets) and ``REPRO_FULL=1`` (8x budgets) adjust every
+  experiment uniformly.
 * **Config construction** - the paper's single-core (1 channel,
   open-row) and eight-core (2 channels, closed-row) systems.
-* **Run caching** - results are memoised per (workload, mechanism,
-  parameters); weighted speedup needs each application's alone-IPC,
-  which would otherwise be recomputed by every experiment.
+* **Run caching** - every run is described by a
+  :class:`~repro.harness.spec.RunSpec` and served through two
+  read-through layers: an in-process memo dict, then the persistent
+  content-addressed store of :mod:`repro.harness.cache`.  Weighted
+  speedup needs each application's alone-IPC, which would otherwise be
+  recomputed by every experiment; the persistent layer extends the
+  same guarantee across processes, pool workers and CI reruns.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, replace
+from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.config import (
     ChargeCacheConfig,
+    ExecutionConfig,
     SimulationConfig,
     eight_core_config,
     single_core_config,
@@ -30,12 +36,17 @@ from repro.config import (
 from repro.circuit.latency_tables import reductions_for_duration_ms
 from repro.cpu.system import RunResult, System
 from repro.dram.organization import Organization
+from repro.harness import cache as run_cache
+from repro.harness.spec import (  # noqa: F401  (re-exported API)
+    DEFAULT_CC_TIME_SCALE,
+    DEFAULT_TIME_SCALE,
+    RunSpec,
+    Scale,
+    current_scale,
+)
 from repro.stats.metrics import weighted_speedup
 from repro.workloads.mixes import make_mix_traces, mix_composition
 from repro.workloads.spec_like import make_trace
-
-#: Time-scale for RLTL interval analysis (DESIGN.md).
-DEFAULT_TIME_SCALE = 64.0
 
 #: Engine used when a run does not name one explicitly; ``None`` keeps
 #: :class:`SimulationConfig`'s own default ("event").  The CLI's
@@ -72,52 +83,6 @@ def _resolve_engine(engine: Optional[str]) -> str:
         return _default_engine
     from repro.config import DEFAULT_ENGINE
     return DEFAULT_ENGINE
-
-
-#: Time-scale for ChargeCache invalidation pacing.  Deliberately much
-#: smaller than the RLTL scale: the paper's physical 1 ms duration is
-#: ~800k bus cycles, far above any row-reuse gap, so invalidation has
-#: almost no effect on hit rates (Figure 11 shows ~2% single-core,
-#: ~0% eight-core).  Scaling the duration all the way down to run
-#: length would push it *below* eight-core reuse gaps and invert the
-#: paper's single-vs-eight hit-rate relationship; a factor of 8 keeps
-#: the sweep meaningful while preserving the duration >> reuse-gap
-#: regime.
-DEFAULT_CC_TIME_SCALE = 8.0
-
-
-@dataclass(frozen=True)
-class Scale:
-    """Instruction budgets for scaled-down runs."""
-
-    single_core_instructions: int = 60_000
-    multi_core_instructions: int = 30_000
-    warmup_cpu_cycles: int = 25_000
-    max_mem_cycles: int = 30_000_000
-    time_scale: float = DEFAULT_TIME_SCALE
-    cc_time_scale: float = DEFAULT_CC_TIME_SCALE
-
-    def scaled(self, factor: float) -> "Scale":
-        if factor <= 0:
-            raise ValueError("scale factor must be positive")
-        return replace(
-            self,
-            single_core_instructions=max(1000, int(
-                self.single_core_instructions * factor)),
-            multi_core_instructions=max(1000, int(
-                self.multi_core_instructions * factor)),
-        )
-
-
-def current_scale() -> Scale:
-    """The scale selected by environment variables."""
-    scale = Scale()
-    if os.environ.get("REPRO_FULL", "") == "1":
-        scale = scale.scaled(8.0)
-    factor = os.environ.get("REPRO_SCALE")
-    if factor:
-        scale = scale.scaled(float(factor))
-    return scale
 
 
 # ----------------------------------------------------------------------
@@ -175,24 +140,212 @@ def build_config(mode: str, mechanism: str, scale: Optional[Scale] = None,
 
 
 # ----------------------------------------------------------------------
-# Cached runs
+# Spec construction (normalisation lives here so that experiments,
+# the pool and direct run_* calls all produce byte-identical keys)
 # ----------------------------------------------------------------------
 
-_run_cache: Dict[Tuple, RunResult] = {}
+def _build_spec(kind: str, name: str, mechanism: str,
+                scale: Optional[Scale], engine: Optional[str],
+                **kwargs) -> RunSpec:
+    """Normalise scale/engine into a concrete spec (single source of
+    truth, so every entry path produces byte-identical cache keys)."""
+    return RunSpec(kind=kind, name=name, mechanism=mechanism,
+                   scale=scale or current_scale(),
+                   engine=_resolve_engine(engine), **kwargs)
 
 
-def clear_caches() -> None:
-    """Drop memoised run results (tests use this for isolation)."""
+def workload_spec(name: str, mechanism: str = "none",
+                  scale: Optional[Scale] = None, *,
+                  engine: Optional[str] = None, **kwargs) -> RunSpec:
+    """Spec for one workload on the single-core system."""
+    return _build_spec("single", name, mechanism, scale, engine, **kwargs)
+
+
+def mix_spec(mix: str, mechanism: str = "none",
+             scale: Optional[Scale] = None, *,
+             engine: Optional[str] = None, **kwargs) -> RunSpec:
+    """Spec for one 8-application mix on the eight-core system."""
+    return _build_spec("eight", mix, mechanism, scale, engine, **kwargs)
+
+
+def alone_spec(name: str, scale: Optional[Scale] = None, *,
+               seed: int = 1, engine: Optional[str] = None) -> RunSpec:
+    """Spec for one application alone on the eight-core platform."""
+    return _build_spec("alone", name, "none", scale, engine, seed=seed)
+
+
+def alone_specs_for_mix(mix: str, scale: Optional[Scale] = None, *,
+                        seed: int = 1,
+                        engine: Optional[str] = None) -> List[RunSpec]:
+    """Alone-run specs for every application in ``mix`` (for WS)."""
+    scale = scale or current_scale()
+    return [alone_spec(name, scale, seed=seed, engine=engine)
+            for name in mix_composition(mix)]
+
+
+# ----------------------------------------------------------------------
+# Two-layer read-through cache
+# ----------------------------------------------------------------------
+
+_run_cache: Dict[RunSpec, RunResult] = {}
+
+#: Persistent-layer binding.  ``None`` dir means "resolve the default
+#: at first use" (env var or ~/.cache); tests point it at tmp dirs.
+_disk_enabled: bool = True
+_disk_dir: Optional[str] = None
+_disk: Optional[run_cache.RunCache] = None
+
+#: Default pool width for sweeps whose caller passed jobs=None;
+#: consulted by :func:`repro.harness.pool.resolve_jobs` before the
+#: ``REPRO_JOBS`` environment variable.
+default_jobs: Optional[int] = None
+
+
+def configure_disk_cache(path: Optional[str] = None,
+                         enabled: bool = True) -> None:
+    """(Re)bind the persistent cache layer.
+
+    ``path=None`` restores default-directory resolution; ``enabled=False``
+    bypasses the disk layer entirely (the in-memory memo still applies).
+    Rebinding always drops the current :class:`RunCache` instance, so
+    the next run re-resolves the directory.
+    """
+    global _disk_enabled, _disk_dir, _disk
+    _disk_enabled = enabled
+    _disk_dir = path
+    _disk = None
+
+
+def apply_execution_config(execution: ExecutionConfig) -> None:
+    """Thread a config-level execution policy into the harness.
+
+    Honours every :class:`ExecutionConfig` field: the cache binding
+    (``cache_dir``/``use_run_cache``) and the default sweep pool width
+    (``jobs``, picked up by :func:`repro.harness.pool.resolve_jobs`
+    whenever a caller does not pass an explicit width).
+    """
+    global default_jobs
+    execution.validate()
+    configure_disk_cache(execution.cache_dir,
+                         enabled=execution.use_run_cache)
+    default_jobs = execution.jobs
+
+
+def active_disk_cache() -> Optional[run_cache.RunCache]:
+    """The bound persistent cache, or None when disabled."""
+    global _disk
+    if not _disk_enabled or os.environ.get("REPRO_NO_CACHE", "") == "1":
+        return None
+    if _disk is None:
+        _disk = run_cache.RunCache(_disk_dir)
+    return _disk
+
+
+def clear_memo() -> None:
+    """Drop only the in-process memo (the disk layer keeps its entries)."""
     _run_cache.clear()
 
 
-def _cached(key: Tuple, factory) -> RunResult:
-    result = _run_cache.get(key)
-    if result is None:
-        result = factory()
-        _run_cache[key] = result
-    return result
+def clear_caches() -> None:
+    """Drop memoised run results, both layers (tests use this for
+    isolation).
 
+    The in-memory memo is emptied; an **explicitly bound** persistent
+    cache (:func:`configure_disk_cache` with a path, the CLI's
+    ``--cache-dir``) has its entries deleted too, and the lazy binding
+    is reset so a subsequent rebind or env change takes effect cleanly.
+    The *default* directory (``~/.cache/chargecache-repro`` or
+    ``$REPRO_CACHE_DIR``) is deliberately never deleted here: a library
+    caller asking for a fresh in-process state must not destroy hours
+    of persisted sweep results; content-addressed entries can never go
+    stale, so correctness never requires deleting them (use
+    ``RunCache(...).clear()`` to reclaim space explicitly).
+    """
+    global _disk
+    _run_cache.clear()
+    if _disk_dir is not None:
+        disk = active_disk_cache()
+        if disk is not None:
+            disk.clear()
+    _disk = None
+
+
+def _install(spec: RunSpec, result: RunResult) -> None:
+    """Back-fill the in-process memo (pool results re-enter here)."""
+    _run_cache[spec] = result
+
+
+def run_spec_ex(spec: RunSpec) -> Tuple[RunResult, str]:
+    """Execute (or recall) one spec; returns (result, source).
+
+    ``source`` is "memory" (in-process memo), "disk" (persistent
+    cache) or "computed" (simulated now; persisted when the disk layer
+    is enabled).
+    """
+    result = _run_cache.get(spec)
+    if result is not None:
+        return result, "memory"
+    disk = active_disk_cache()
+    key = run_cache.cache_key(spec) if disk is not None else None
+    if disk is not None:
+        result = disk.get(key)
+        if result is not None:
+            _run_cache[spec] = result
+            return result, "disk"
+    result = _execute_spec(spec)
+    _run_cache[spec] = result
+    if disk is not None:
+        try:
+            disk.put(key, spec, result)
+        except Exception:
+            # Persistence is best-effort: an unwritable cache dir or an
+            # unserialisable result degrades to memo-only, never fails
+            # the run that just completed.
+            pass
+    return result, "computed"
+
+
+def run_spec(spec: RunSpec) -> RunResult:
+    """Execute (or recall) one spec through both cache layers."""
+    return run_spec_ex(spec)[0]
+
+
+def _execute_spec(spec: RunSpec) -> RunResult:
+    """Actually simulate one spec (no caching)."""
+    scale = spec.scale
+    if spec.kind == "alone":
+        cfg = eight_core_config("none")
+        cfg = replace(cfg,
+                      processor=replace(cfg.processor, num_cores=1),
+                      instruction_limit=scale.multi_core_instructions,
+                      warmup_cpu_cycles=scale.warmup_cpu_cycles,
+                      engine=spec.engine)
+        org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
+        system = System(cfg, [make_trace(spec.name, org, seed=spec.seed)])
+        return system.run(max_mem_cycles=scale.max_mem_cycles)
+
+    cfg = build_config(spec.kind, spec.mechanism, scale,
+                       cc_entries=spec.cc_entries,
+                       cc_duration_ms=spec.cc_duration_ms,
+                       cc_unbounded=spec.cc_unbounded,
+                       row_policy=spec.row_policy,
+                       engine=spec.engine)
+    if spec.idle_finished:
+        cfg = replace(cfg, idle_finished_cores=True)
+    org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
+    if spec.kind == "single":
+        traces = [make_trace(spec.name, org, seed=spec.seed)]
+    else:
+        traces = make_mix_traces(spec.name, org, seed=spec.seed)
+    system = System(cfg, traces,
+                    enable_rltl=spec.enable_rltl,
+                    rltl_time_scale=scale.time_scale)
+    return system.run(max_mem_cycles=scale.max_mem_cycles)
+
+
+# ----------------------------------------------------------------------
+# Cached runs (the classic entry points; now thin spec wrappers)
+# ----------------------------------------------------------------------
 
 def run_workload(name: str, mechanism: str = "none",
                  scale: Optional[Scale] = None,
@@ -205,28 +358,11 @@ def run_workload(name: str, mechanism: str = "none",
                  seed: int = 1,
                  engine: Optional[str] = None) -> RunResult:
     """Run one workload on the single-core system (memoised)."""
-    scale = scale or current_scale()
-    engine = _resolve_engine(engine)
-    key = ("single", name, mechanism, scale, enable_rltl, row_policy,
-           cc_entries, cc_duration_ms, cc_unbounded, idle_finished, seed,
-           engine)
-
-    def factory() -> RunResult:
-        cfg = build_config("single", mechanism, scale,
-                           cc_entries=cc_entries,
-                           cc_duration_ms=cc_duration_ms,
-                           cc_unbounded=cc_unbounded,
-                           row_policy=row_policy,
-                           engine=engine)
-        if idle_finished:
-            cfg = replace(cfg, idle_finished_cores=True)
-        org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
-        system = System(cfg, [make_trace(name, org, seed=seed)],
-                        enable_rltl=enable_rltl,
-                        rltl_time_scale=scale.time_scale)
-        return system.run(max_mem_cycles=scale.max_mem_cycles)
-
-    return _cached(key, factory)
+    return run_spec(workload_spec(
+        name, mechanism, scale, enable_rltl=enable_rltl,
+        row_policy=row_policy, cc_entries=cc_entries,
+        cc_duration_ms=cc_duration_ms, cc_unbounded=cc_unbounded,
+        idle_finished=idle_finished, seed=seed, engine=engine))
 
 
 def run_mix(mix: str, mechanism: str = "none",
@@ -240,49 +376,17 @@ def run_mix(mix: str, mechanism: str = "none",
             seed: int = 1,
             engine: Optional[str] = None) -> RunResult:
     """Run one 8-core mix on the eight-core system (memoised)."""
-    scale = scale or current_scale()
-    engine = _resolve_engine(engine)
-    key = ("eight", mix, mechanism, scale, enable_rltl, row_policy,
-           cc_entries, cc_duration_ms, cc_unbounded, idle_finished, seed,
-           engine)
-
-    def factory() -> RunResult:
-        cfg = build_config("eight", mechanism, scale,
-                           cc_entries=cc_entries,
-                           cc_duration_ms=cc_duration_ms,
-                           cc_unbounded=cc_unbounded,
-                           row_policy=row_policy,
-                           engine=engine)
-        if idle_finished:
-            cfg = replace(cfg, idle_finished_cores=True)
-        org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
-        system = System(cfg, make_mix_traces(mix, org, seed=seed),
-                        enable_rltl=enable_rltl,
-                        rltl_time_scale=scale.time_scale)
-        return system.run(max_mem_cycles=scale.max_mem_cycles)
-
-    return _cached(key, factory)
+    return run_spec(mix_spec(
+        mix, mechanism, scale, enable_rltl=enable_rltl,
+        row_policy=row_policy, cc_entries=cc_entries,
+        cc_duration_ms=cc_duration_ms, cc_unbounded=cc_unbounded,
+        idle_finished=idle_finished, seed=seed, engine=engine))
 
 
 def run_alone(name: str, scale: Optional[Scale] = None,
               seed: int = 1, engine: Optional[str] = None) -> RunResult:
     """One application alone on the eight-core platform (for WS)."""
-    scale = scale or current_scale()
-    engine = _resolve_engine(engine)
-    key = ("alone", name, scale, seed, engine)
-
-    def factory() -> RunResult:
-        cfg = eight_core_config("none")
-        cfg = replace(cfg,
-                      processor=replace(cfg.processor, num_cores=1),
-                      instruction_limit=scale.multi_core_instructions,
-                      warmup_cpu_cycles=scale.warmup_cpu_cycles,
-                      engine=engine)
-        org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
-        system = System(cfg, [make_trace(name, org, seed=seed)])
-        return system.run(max_mem_cycles=scale.max_mem_cycles)
-
-    return _cached(key, factory)
+    return run_spec(alone_spec(name, scale, seed=seed, engine=engine))
 
 
 def alone_ipcs_for_mix(mix: str, scale: Optional[Scale] = None,

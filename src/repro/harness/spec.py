@@ -1,0 +1,156 @@
+"""Run specifications: the harness's unit of schedulable work.
+
+A :class:`RunSpec` names one simulation completely — what to run
+(workload or mix), under which mechanism and knobs, at which scale,
+with which seed and engine.  It is deliberately a plain frozen
+dataclass of primitives so that it can be
+
+* **hashed** into a stable content-addressed cache key
+  (:mod:`repro.harness.cache`),
+* **pickled** across process boundaries
+  (:mod:`repro.harness.pool`), and
+* **executed** by the runner (:func:`repro.harness.runner.run_spec`)
+  with no ambient state beyond the code itself.
+
+Every experiment in :mod:`repro.harness.experiments` declares its sweep
+as a flat list of these; the pool fans them out and the runner memoises
+them, so a spec is also the key of both cache layers.
+
+:class:`Scale` lives here (rather than in ``runner``) because it is
+part of the spec: two runs at different instruction budgets are
+different experiments and must never share a cache entry.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Optional
+
+#: Time-scale for RLTL interval analysis (DESIGN.md section 1).
+DEFAULT_TIME_SCALE = 64.0
+
+#: Time-scale for ChargeCache invalidation pacing.  Deliberately much
+#: smaller than the RLTL scale: the paper's physical 1 ms duration is
+#: ~800k bus cycles, far above any row-reuse gap, so invalidation has
+#: almost no effect on hit rates (Figure 11 shows ~2% single-core,
+#: ~0% eight-core).  Scaling the duration all the way down to run
+#: length would push it *below* eight-core reuse gaps and invert the
+#: paper's single-vs-eight hit-rate relationship; a factor of 8 keeps
+#: the sweep meaningful while preserving the duration >> reuse-gap
+#: regime.
+DEFAULT_CC_TIME_SCALE = 8.0
+
+#: The three run shapes the harness knows how to execute.
+RUN_KINDS = ("single", "eight", "alone")
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Instruction budgets for scaled-down runs."""
+
+    single_core_instructions: int = 60_000
+    multi_core_instructions: int = 30_000
+    warmup_cpu_cycles: int = 25_000
+    max_mem_cycles: int = 30_000_000
+    time_scale: float = DEFAULT_TIME_SCALE
+    cc_time_scale: float = DEFAULT_CC_TIME_SCALE
+
+    def scaled(self, factor: float) -> "Scale":
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            single_core_instructions=max(1000, int(
+                self.single_core_instructions * factor)),
+            multi_core_instructions=max(1000, int(
+                self.multi_core_instructions * factor)),
+        )
+
+
+def current_scale() -> Scale:
+    """The scale selected by environment variables."""
+    scale = Scale()
+    if os.environ.get("REPRO_FULL", "") == "1":
+        scale = scale.scaled(8.0)
+    factor = os.environ.get("REPRO_SCALE")
+    if factor:
+        scale = scale.scaled(float(factor))
+    return scale
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One sweep point: everything that determines a RunResult.
+
+    ``kind`` selects the platform: "single" (1 core, 1 channel,
+    open-row), "eight" (8 cores, 2 channels, closed-row), or "alone"
+    (one application alone on the eight-core platform, used for
+    weighted-speedup denominators).  ``engine`` must be concrete
+    ("event"/"dense", never None) so that a spec means the same run in
+    every process regardless of ambient defaults.
+    """
+
+    kind: str
+    name: str
+    mechanism: str = "none"
+    scale: Scale = field(default_factory=Scale)
+    enable_rltl: bool = False
+    row_policy: Optional[str] = None
+    cc_entries: Optional[int] = None
+    cc_duration_ms: Optional[float] = None
+    cc_unbounded: bool = False
+    idle_finished: bool = False
+    seed: int = 1
+    engine: str = "event"
+
+    def __post_init__(self) -> None:
+        if self.kind not in RUN_KINDS:
+            raise ValueError(
+                f"unknown run kind {self.kind!r}; expected one of {RUN_KINDS}")
+
+    def key_payload(self) -> Dict:
+        """JSON-stable dict of every field that defines this run.
+
+        This is the *only* sanctioned serialization for cache-key
+        hashing: plain types, field-name keys, scale inlined.  Any new
+        RunSpec field automatically lands here (and therefore changes
+        keys), which is the safe failure mode.
+        """
+        payload = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "scale":
+                value = {sf.name: getattr(value, sf.name)
+                         for sf in fields(Scale)}
+            payload[f.name] = value
+        return payload
+
+    def label(self) -> str:
+        """Short human-readable tag for progress and annotations."""
+        parts = [self.kind, self.name, self.mechanism]
+        for attr, tag in (("cc_entries", "e"), ("cc_duration_ms", "d"),
+                          ("row_policy", "rp")):
+            value = getattr(self, attr)
+            if value is not None:
+                parts.append(f"{tag}={value}")
+        if self.cc_unbounded:
+            parts.append("unbounded")
+        if self.idle_finished:
+            parts.append("idle")
+        if self.enable_rltl:
+            parts.append("rltl")
+        if self.seed != 1:
+            parts.append(f"s{self.seed}")
+        return ":".join(parts)
+
+
+def dedupe_specs(specs) -> list:
+    """Drop duplicate sweep points, preserving first-seen order."""
+    seen = set()
+    unique = []
+    for spec in specs:
+        if spec not in seen:
+            seen.add(spec)
+            unique.append(spec)
+    return unique

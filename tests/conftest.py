@@ -16,6 +16,23 @@ from repro.dram.organization import Organization
 from repro.dram.timing import DDR3_1600
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_run_cache(tmp_path_factory):
+    """Point the persistent run cache at a per-session tmp dir.
+
+    The harness's disk layer is read-through by default; without this,
+    test runs would populate (and, via clear_caches, wipe) the user's
+    real ~/.cache/chargecache-repro.  Tests that exercise specific
+    cache directories re-bind explicitly and restore on exit.
+    """
+    from repro.harness import runner
+    runner.configure_disk_cache(
+        str(tmp_path_factory.mktemp("run-cache")))
+    yield
+    runner.clear_caches()
+    runner.configure_disk_cache(None)
+
+
 @pytest.fixture
 def timing():
     return DDR3_1600

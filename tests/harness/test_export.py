@@ -4,7 +4,12 @@ import csv
 import io
 
 from repro.harness.experiments import run_fig6, run_table2
-from repro.harness.export import export_csv, rows_to_csv, write_csv
+from repro.harness.export import (
+    export_cache_manifest,
+    export_csv,
+    rows_to_csv,
+    write_csv,
+)
 
 
 class TestRowsToCsv:
@@ -58,3 +63,40 @@ class TestExperimentExport:
         path = tmp_path / "t2.csv"
         assert write_csv(run_table2(), str(path)) == str(path)
         assert path.read_text().startswith("duration_ms")
+
+    def test_cache_annotation_not_leaked_into_rows_csv(self):
+        result = {"id": "fig9",
+                  "rows": [{"mode": "single", "hit_rate": 0.4}],
+                  "cache": {"points": 1, "disk": 1, "memory": 0,
+                            "computed": 0, "jobs": 1,
+                            "points_detail": []}}
+        text = export_csv(result)
+        assert "cache" not in text  # provenance lives in the manifest
+
+
+class TestCacheManifest:
+    RESULTS = {
+        "fig9": {"id": "fig9", "rows": [],
+                 "cache": {"points": 2, "disk": 1, "memory": 0,
+                           "computed": 1, "jobs": 2,
+                           "points_detail": [
+                               {"label": "single:mcf:chargecache",
+                                "source": "disk"},
+                               {"label": "single:mcf:none",
+                                "source": "computed"}]}},
+        "table2": {"id": "table2", "rows": []},  # not annotated
+    }
+
+    def test_manifest_rows(self):
+        rows = list(csv.reader(io.StringIO(
+            export_cache_manifest(self.RESULTS))))
+        assert rows[0] == ["experiment", "point", "source", "cache_hit"]
+        assert rows[1] == ["fig9", "single:mcf:chargecache", "disk",
+                           "True"]
+        assert rows[2] == ["fig9", "single:mcf:none", "computed",
+                           "False"]
+        assert len(rows) == 3  # table2 contributes nothing
+
+    def test_empty_when_nothing_annotated(self):
+        assert export_cache_manifest({"table2": self.RESULTS["table2"]}) \
+            == ""

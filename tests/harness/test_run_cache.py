@@ -1,0 +1,310 @@
+"""Tests for the persistent content-addressed run cache."""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.harness import cache
+from repro.harness import runner
+from repro.harness.cache import (
+    RunCache,
+    cache_key,
+    code_fingerprint,
+    result_from_json,
+    result_to_json,
+)
+from repro.harness.spec import RunSpec, Scale
+
+TINY = Scale(single_core_instructions=2000, multi_core_instructions=1000,
+             warmup_cpu_cycles=1000, max_mem_cycles=300_000)
+
+SPEC = RunSpec(kind="single", name="hmmer", mechanism="chargecache",
+               scale=TINY, enable_rltl=True, seed=3, engine="event")
+
+
+@pytest.fixture
+def bound_cache(tmp_path):
+    """Re-bind the runner's disk layer to a fresh dir; restore after."""
+    prev = (runner._disk_enabled, runner._disk_dir)
+    runner.clear_memo()
+    runner.configure_disk_cache(str(tmp_path / "cache"))
+    yield runner.active_disk_cache()
+    runner.clear_memo()
+    runner.configure_disk_cache(prev[1], enabled=prev[0])
+
+
+class TestCacheKey:
+    def test_stable_within_process(self):
+        assert cache_key(SPEC) == cache_key(SPEC)
+        # Equal specs built independently hash identically.
+        twin = RunSpec(kind="single", name="hmmer",
+                       mechanism="chargecache", scale=TINY,
+                       enable_rltl=True, seed=3, engine="event")
+        assert cache_key(twin) == cache_key(SPEC)
+
+    def test_stable_across_processes(self):
+        """Same spec -> same key in a fresh interpreter (no PYTHONHASHSEED
+        or dict-order dependence)."""
+        src_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        script = (
+            "from repro.harness.cache import cache_key\n"
+            "from repro.harness.spec import RunSpec, Scale\n"
+            "spec = RunSpec(kind='single', name='hmmer', "
+            "mechanism='chargecache', "
+            "scale=Scale(single_core_instructions=2000, "
+            "multi_core_instructions=1000, warmup_cpu_cycles=1000, "
+            "max_mem_cycles=300_000), enable_rltl=True, seed=3, "
+            "engine='event')\n"
+            "print(cache_key(spec))\n")
+        env = dict(os.environ,
+                   PYTHONPATH=src_root + os.pathsep
+                   + os.environ.get("PYTHONPATH", ""),
+                   PYTHONHASHSEED="12345")
+        out = subprocess.run([sys.executable, "-c", script], env=env,
+                             capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == cache_key(SPEC)
+
+    def test_every_field_change_changes_key(self):
+        base = cache_key(SPEC)
+        variants = {
+            "kind": "eight",
+            "name": "mcf",
+            "mechanism": "none",
+            "scale": TINY.scaled(2.0),
+            "enable_rltl": False,
+            "row_policy": "closed",
+            "cc_entries": 64,
+            "cc_duration_ms": 4.0,
+            "cc_unbounded": True,
+            "idle_finished": True,
+            "seed": 4,
+            "engine": "dense",
+        }
+        assert set(variants) == {f.name for f in
+                                 dataclasses.fields(RunSpec)}, \
+            "new RunSpec field needs a key-sensitivity case here"
+        keys = {base}
+        for field, value in variants.items():
+            changed = dataclasses.replace(SPEC, **{field: value})
+            key = cache_key(changed)
+            assert key != base, f"{field} change did not change the key"
+            keys.add(key)
+        assert len(keys) == len(variants) + 1  # all pairwise distinct
+
+    def test_scale_subfield_changes_key(self):
+        changed = dataclasses.replace(
+            SPEC, scale=dataclasses.replace(TINY, max_mem_cycles=400_000))
+        assert cache_key(changed) != cache_key(SPEC)
+
+    def test_fingerprint_is_part_of_key(self):
+        assert cache_key(SPEC, fingerprint="deadbeef") != cache_key(SPEC)
+
+    def test_code_fingerprint_stable_and_hex(self):
+        fp = code_fingerprint()
+        assert fp == code_fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)
+
+
+class TestResultCodec:
+    def test_round_trip_fidelity(self, bound_cache):
+        fresh = runner.run_spec(SPEC)
+        assert fresh.rltl is not None
+        restored = result_from_json(
+            json.loads(json.dumps(result_to_json(fresh))))
+        for name in cache._PLAIN_FIELDS:
+            assert getattr(restored, name) == getattr(fresh, name), name
+        assert restored.config == fresh.config
+        assert restored.extra == fresh.extra
+        # Derived metrics agree exactly.
+        assert restored.total_ipc == fresh.total_ipc
+        assert restored.rmpkc() == fresh.rmpkc()
+        assert restored.mechanism_hit_rate == fresh.mechanism_hit_rate
+        # The restored RLTL probe answers every tracked interval.
+        for interval in fresh.rltl.intervals_ms:
+            assert restored.rltl.rltl(interval) == \
+                fresh.rltl.rltl(interval)
+            assert restored.rltl.refresh_fraction(interval) == \
+                fresh.rltl.refresh_fraction(interval)
+        assert restored.rltl.mean_gap_ms == fresh.rltl.mean_gap_ms
+
+    def test_reuse_profiler_round_trip(self):
+        from repro.stats.reuse import RowReuseProfiler
+        profiler = RowReuseProfiler()
+        for row in (1, 2, 3, 1, 2, 1, 9, 1):
+            profiler.on_activate(0, 0, 0, row)
+        data = json.loads(json.dumps(cache._reuse_to_json(profiler)))
+        restored = cache._reuse_from_json(data)
+        assert restored.histogram == profiler.histogram
+        assert restored.cold == profiler.cold
+        assert restored.activations == profiler.activations
+        assert restored.distinct_rows() == profiler.distinct_rows()
+        assert restored.predicted_hit_rate(2) == \
+            profiler.predicted_hit_rate(2)
+        assert restored.median_reuse_distance() == \
+            profiler.median_reuse_distance()
+
+
+class TestRunCacheStore:
+    def test_persists_across_instances(self, tmp_path):
+        store = RunCache(str(tmp_path))
+        result = runner._execute_spec(SPEC)
+        key = cache_key(SPEC)
+        store.put(key, SPEC, result)
+        again = RunCache(str(tmp_path))
+        loaded = again.get(key)
+        assert loaded is not None
+        assert loaded.mem_cycles == result.mem_cycles
+        assert loaded.ipcs == result.ipcs
+        assert key in again.keys()
+        assert len(again) == 1
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        store = RunCache(str(tmp_path))
+        key = cache_key(SPEC)
+        os.makedirs(store.root, exist_ok=True)
+        with open(store.path_for(key), "w") as fh:
+            fh.write("{not json at all")
+        assert store.get(key) is None
+        assert store.misses == 1
+
+    def test_non_object_json_is_a_miss(self, tmp_path):
+        store = RunCache(str(tmp_path))
+        key = cache_key(SPEC)
+        os.makedirs(store.root, exist_ok=True)
+        for payload in ("null", "[]", '"text"'):
+            with open(store.path_for(key), "w") as fh:
+                fh.write(payload)
+            assert store.get(key) is None, payload
+
+    def test_partial_file_is_a_miss(self, tmp_path):
+        store = RunCache(str(tmp_path))
+        result = runner._execute_spec(SPEC)
+        key = cache_key(SPEC)
+        path = store.put(key, SPEC, result)
+        with open(path, "r") as fh:
+            text = fh.read()
+        with open(path, "w") as fh:
+            fh.write(text[:len(text) // 2])  # truncated mid-write
+        assert store.get(key) is None
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        store = RunCache(str(tmp_path))
+        result = runner._execute_spec(SPEC)
+        key = cache_key(SPEC)
+        path = store.put(key, SPEC, result)
+        with open(path) as fh:
+            envelope = json.load(fh)
+        envelope["schema"] = cache.SCHEMA_VERSION + 1
+        with open(path, "w") as fh:
+            json.dump(envelope, fh)
+        assert store.get(key) is None
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        assert RunCache(str(tmp_path)).get(cache_key(SPEC)) is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        store = RunCache(str(tmp_path))
+        result = runner._execute_spec(SPEC)
+        store.put(cache_key(SPEC), SPEC, result)
+        assert len(store) == 1
+        assert store.clear() == 1
+        assert len(store) == 0
+        assert store.get(cache_key(SPEC)) is None
+
+
+class TestReadThrough:
+    def test_disk_hit_after_memo_clear(self, bound_cache):
+        fresh, source = runner.run_spec_ex(SPEC)
+        assert source == "computed"
+        runner.clear_memo()
+        recalled, source = runner.run_spec_ex(SPEC)
+        assert source == "disk"
+        assert recalled is not fresh
+        assert recalled.ipcs == fresh.ipcs
+        # Third call is served by the re-populated memo.
+        again, source = runner.run_spec_ex(SPEC)
+        assert source == "memory"
+        assert again is recalled
+
+    def test_no_cache_bypass(self, tmp_path):
+        prev = (runner._disk_enabled, runner._disk_dir)
+        try:
+            runner.clear_memo()
+            runner.configure_disk_cache(str(tmp_path / "c"),
+                                        enabled=False)
+            assert runner.active_disk_cache() is None
+            _, source = runner.run_spec_ex(SPEC)
+            assert source == "computed"
+            runner.clear_memo()
+            _, source = runner.run_spec_ex(SPEC)
+            assert source == "computed"  # nothing persisted
+            assert not os.path.exists(str(tmp_path / "c"))
+        finally:
+            runner.clear_memo()
+            runner.configure_disk_cache(prev[1], enabled=prev[0])
+
+    def test_no_cache_env_bypass(self, bound_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert runner.active_disk_cache() is None
+        _, source = runner.run_spec_ex(SPEC)
+        assert source == "computed"
+        runner.clear_memo()
+        _, source = runner.run_spec_ex(SPEC)
+        assert source == "computed"
+
+    def test_execution_config_threads_through(self, tmp_path):
+        from repro.config import ExecutionConfig
+        from repro.harness.pool import resolve_jobs
+        prev = (runner._disk_enabled, runner._disk_dir)
+        try:
+            runner.apply_execution_config(ExecutionConfig(
+                jobs=7, cache_dir=str(tmp_path / "via-config")))
+            disk = runner.active_disk_cache()
+            assert disk is not None
+            assert disk.root == str(tmp_path / "via-config")
+            assert resolve_jobs(None) == 7  # jobs honoured, not ignored
+            assert resolve_jobs(2) == 2     # explicit width still wins
+            runner.apply_execution_config(
+                ExecutionConfig(use_run_cache=False))
+            assert runner.active_disk_cache() is None
+            assert resolve_jobs(None) == 1
+        finally:
+            runner.clear_memo()
+            runner.default_jobs = None
+            runner.configure_disk_cache(prev[1], enabled=prev[0])
+
+    def test_clear_caches_never_deletes_default_dir_entries(
+            self, tmp_path, monkeypatch):
+        """A library caller asking for a fresh in-process state must
+        not destroy the shared default cache it never bound."""
+        prev = (runner._disk_enabled, runner._disk_dir)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "default"))
+        try:
+            runner.clear_memo()
+            runner.configure_disk_cache(None)  # default-dir resolution
+            runner.run_spec(SPEC)
+            assert len(runner.active_disk_cache()) == 1
+            runner.clear_caches()
+            assert len(runner.active_disk_cache()) == 1  # survived
+            _, source = runner.run_spec_ex(SPEC)
+            assert source == "disk"
+        finally:
+            runner.clear_memo()
+            runner.configure_disk_cache(prev[1], enabled=prev[0])
+
+    def test_clear_caches_clears_disk_layer(self, bound_cache):
+        runner.run_spec(SPEC)
+        disk = runner.active_disk_cache()
+        assert len(disk) == 1
+        runner.clear_caches()
+        disk = runner.active_disk_cache()
+        assert len(disk) == 0
+        _, source = runner.run_spec_ex(SPEC)
+        assert source == "computed"

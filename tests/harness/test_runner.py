@@ -2,12 +2,18 @@
 
 import pytest
 
+from repro.harness import runner
 from repro.harness.runner import (
     Scale,
+    alone_spec,
     build_config,
     clear_caches,
+    clear_memo,
     current_scale,
+    mix_spec,
+    run_spec_ex,
     run_workload,
+    workload_spec,
 )
 
 TINY = Scale(single_core_instructions=2000, multi_core_instructions=1000,
@@ -75,6 +81,33 @@ class TestBuildConfig:
         assert cfg.controller.row_policy == "closed"
 
 
+class TestSpecBuilders:
+    def test_workload_spec_normalises_engine_and_scale(self):
+        spec = workload_spec("hmmer", "chargecache", TINY)
+        assert spec.kind == "single"
+        assert spec.engine in ("event", "dense")  # concrete, never None
+        assert spec.scale == TINY
+
+    def test_default_scale_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.0")
+        spec = workload_spec("hmmer")
+        assert spec.scale == current_scale()
+
+    def test_mix_and_alone_kinds(self):
+        assert mix_spec("w1", scale=TINY).kind == "eight"
+        alone = alone_spec("hmmer", TINY)
+        assert alone.kind == "alone"
+        assert alone.mechanism == "none"
+
+    def test_spec_paths_share_the_memo_with_run_workload(self):
+        clear_caches()
+        via_fn = run_workload("hmmer", "none", TINY)
+        _, source = run_spec_ex(workload_spec("hmmer", "none", TINY))
+        assert source == "memory"  # identical spec, identical key
+        assert via_fn is runner.run_spec(
+            workload_spec("hmmer", "none", TINY))
+
+
 class TestCaching:
     def test_identical_runs_memoised(self):
         clear_caches()
@@ -95,3 +128,24 @@ class TestCaching:
         assert a is not b
         # Determinism: the recomputed result matches.
         assert a.ipcs == b.ipcs
+
+    def test_clear_caches_also_clears_disk_layer(self):
+        """clear_caches must point the next run at an empty persistent
+        layer too, or test isolation would silently read stale disk
+        entries after the memo is dropped."""
+        clear_caches()
+        run_workload("hmmer", "none", TINY)
+        clear_caches()
+        _, source = run_spec_ex(workload_spec("hmmer", "none", TINY))
+        assert source == "computed"  # neither memo nor disk survived
+
+    def test_memo_clear_falls_through_to_disk(self):
+        clear_caches()
+        a = run_workload("hmmer", "none", TINY)
+        clear_memo()
+        b, source = run_spec_ex(workload_spec("hmmer", "none", TINY))
+        if runner.active_disk_cache() is not None:
+            assert source == "disk"
+            assert b is not a  # restored object, not the memo entry
+        assert b.ipcs == a.ipcs
+        assert b.mem_cycles == a.mem_cycles
