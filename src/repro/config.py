@@ -87,9 +87,24 @@ class CacheConfig:
             raise ValueError("size must be divisible by assoc * line size")
 
 
+#: Timing standard assumed when a configuration does not name one.
+DEFAULT_STANDARD = "DDR3-1600"
+
+
 @dataclass(frozen=True)
 class DRAMConfig:
-    """DRAM organization (Table 1, "DRAM" row)."""
+    """DRAM organization (Table 1, "DRAM" row).
+
+    ``standard`` names the timing-grade preset
+    (:mod:`repro.dram.standards`) the simulated devices follow;
+    :class:`repro.cpu.system.System` resolves it to a
+    :class:`~repro.dram.timing.TimingParameters` unless the caller
+    injects explicit timing.  A non-default standard must agree with
+    ``bus_freq_mhz`` (the CPU/DRAM clock ratio is derived from it); the
+    default standard tolerates any bus frequency for backward
+    compatibility with frequency-sweep configs that pass their own
+    timing object.
+    """
 
     channels: int = 1
     ranks_per_channel: int = 1
@@ -98,6 +113,7 @@ class DRAMConfig:
     row_buffer_bytes: int = 8 * 1024
     bus_freq_mhz: float = DEFAULT_BUS_FREQ_MHZ
     address_mapping: str = "RoBaRaCoCh"
+    standard: str = DEFAULT_STANDARD
 
     @property
     def columns_per_row(self) -> int:
@@ -111,6 +127,18 @@ class DRAMConfig:
                 raise ValueError(f"{name} must be >= 1")
         if self.row_buffer_bytes % 64:
             raise ValueError("row buffer must be a multiple of 64 B lines")
+        from repro.dram.standards import PRESETS
+        if self.standard not in PRESETS:
+            raise ValueError(
+                f"unknown DRAM standard {self.standard!r}; "
+                f"known: {sorted(PRESETS)}")
+        if self.standard != DEFAULT_STANDARD:
+            preset_freq = PRESETS[self.standard].freq_mhz
+            if abs(self.bus_freq_mhz - preset_freq) > 1e-6:
+                raise ValueError(
+                    f"bus_freq_mhz={self.bus_freq_mhz} does not match "
+                    f"standard {self.standard!r} ({preset_freq} MHz); "
+                    f"set both consistently")
 
 
 @dataclass(frozen=True)

@@ -221,6 +221,12 @@ class MemoryController:
         the next visited cycle, because every state change (enqueue,
         issue, completion) happens at visited cycles and the engine
         recomputes after each one.
+
+        Multi-rank channels: the refresh loop, the scheduler bound and
+        the pending-PRE scan below each iterate every rank, so the bid
+        stays exact for ranks_per_channel > 1 (audited; pinned by
+        tests/integration/test_scenario_matrix.py::TestMultiRankWakeBid
+        and the scenario parity grid).
         """
         if self._last_issue_cycle == cycle:
             # Just issued a command: more work is typically ready within

@@ -40,7 +40,7 @@ from repro.cpu.core import Core
 from repro.cpu.trace import TraceRecord
 from repro.dram.organization import Organization
 from repro.dram.refresh import RefreshScheduler
-from repro.dram.timing import DDR3_1600, NEVER, TimingParameters
+from repro.dram.timing import NEVER, TimingParameters
 from repro.stats.probes import CompositeProbe
 from repro.stats.reuse import RowReuseProfiler
 from repro.stats.rltl import RLTLProbe
@@ -134,7 +134,13 @@ class System:
             raise ValueError(
                 f"need {config.processor.num_cores} traces, got {len(traces)}")
         self.config = config
-        self.timing = timing or DDR3_1600
+        if timing is None:
+            # Resolve the configured timing grade (DDR3-1600 unless the
+            # scenario names another standard); an explicit ``timing``
+            # argument still wins for tests and frequency sweeps.
+            from repro.dram.standards import preset
+            timing = preset(config.dram.standard)
+        self.timing = timing
         self.organization = Organization.from_config(
             config.dram, config.cache.line_bytes)
         self.mapper = AddressMapper(self.organization)

@@ -99,6 +99,23 @@ def preset(name: str) -> TimingParameters:
             f"unknown standard {name!r}; known: {sorted(PRESETS)}") from None
 
 
+def reduction_cycles_for(timing: TimingParameters,
+                         trcd_reduction_ns: float = 5.0,
+                         tras_reduction_ns: float = 10.0):
+    """(tRCD, tRAS) reduction *cycle counts* for a standard.
+
+    The charge headroom is a physical quantity in nanoseconds; each
+    standard sees it as a different number of bus cycles.  Reductions
+    are floored conservatively and clamped so the reduced timing never
+    drops below one cycle.
+    """
+    trcd_red = int(trcd_reduction_ns / timing.tCK_ns)
+    tras_red = int(tras_reduction_ns / timing.tCK_ns)
+    trcd_red = min(trcd_red, timing.tRCD - 1)
+    tras_red = min(tras_red, timing.tRAS - 1)
+    return max(0, trcd_red), max(0, tras_red)
+
+
 def chargecache_reductions_for(timing: TimingParameters,
                                trcd_reduction_ns: float = 5.0,
                                tras_reduction_ns: float = 10.0):
@@ -107,8 +124,6 @@ def chargecache_reductions_for(timing: TimingParameters,
     The physics (charge in the cells) is standard independent; only the
     clock changes.  Reductions are floored conservatively.
     """
-    trcd_red = int(trcd_reduction_ns / timing.tCK_ns)
-    tras_red = int(tras_reduction_ns / timing.tCK_ns)
-    trcd_red = min(trcd_red, timing.tRCD - 1)
-    tras_red = min(tras_red, timing.tRAS - 1)
-    return timing.reduced_by(max(0, trcd_red), max(0, tras_red))
+    trcd_red, tras_red = reduction_cycles_for(
+        timing, trcd_reduction_ns, tras_reduction_ns)
+    return timing.reduced_by(trcd_red, tras_red)

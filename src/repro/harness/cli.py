@@ -7,6 +7,13 @@ Examples::
     chargecache-harness fig7b --workloads w1 w2 w3
     chargecache-harness all --json results.json --cache-dir /tmp/cc
     chargecache-harness fig9 --no-cache --jobs 0   # recompute, all CPUs
+    chargecache-harness scaling --jobs 4    # core-count x ranks matrix
+    chargecache-harness standards --jobs 4  # DDR4/LPDDR3/GDDR5 grades
+
+The ``all`` command first collects every experiment's declared sweep,
+dedupes it, and executes the union through one shared process pool
+(DESIGN.md section 5), so each distinct run is simulated at most once
+and workers never idle between figures.
 
 Sweep points fan out over ``--jobs`` worker processes and are memoised
 in a persistent content-addressed run cache (default
@@ -47,6 +54,8 @@ _EXPERIMENTS = {
     "fig11": lambda w, s: experiments.run_fig11(workloads=w, scale=s),
     "sec63": lambda w, s: experiments.run_sec63(scale=s),
     "table1": lambda w, s: experiments.run_table1(),
+    "scaling": lambda w, s: experiments.run_scaling(w, s),
+    "standards": lambda w, s: experiments.run_standards(w, s),
 }
 
 
@@ -126,6 +135,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     names = sorted(_EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
+    if args.experiment == "all":
+        # One shared pool for every experiment's sweep: collect the
+        # union of declared specs, dedupe, execute once.  The
+        # per-experiment prefetches below then hit the memo and fork
+        # nothing, so workers never idle between figures.
+        shared = experiments.prefetch_experiments(names, args.workloads,
+                                                  scale)
+        from repro.harness.report import render_cache_annotation
+        note = render_cache_annotation(shared.annotation())
+        if note:
+            print(f"all (shared pool) {note}", file=sys.stderr)
     results: Dict[str, Dict] = {}
     for name in names:
         result = _EXPERIMENTS[name](args.workloads, scale)

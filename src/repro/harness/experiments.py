@@ -17,6 +17,15 @@ back-filled in-process memo — so shaping logic stays sequential and
 readable while all simulation happens in parallel.  Experiments with a
 sweep attach a ``"cache"`` annotation to their result dict recording,
 per point, whether it was served from memory, disk, or computed.
+
+Declaration is separate from aggregation so sweeps compose: every
+``_*_specs`` helper is registered in :data:`SWEEP_DECLARATIONS`, and
+:func:`prefetch_experiments` concatenates any set of experiments'
+sweeps, dedupes them, and executes the union through **one** shared
+process pool.  The CLI's ``all`` command uses this so the tail of one
+figure's sweep never idles workers the next figure could use; each
+experiment's own ``_prefetch`` then finds everything in the memo and
+forks nothing (DESIGN.md section 5).
 """
 
 from __future__ import annotations
@@ -33,7 +42,8 @@ from repro.config import eight_core_config, single_core_config
 from repro.dram.timing import DDR3_1600
 from repro.energy.drampower import energy_for_run
 from repro.energy.mcpat import hcrac_overhead, overhead_for_config
-from repro.harness import pool
+from repro.dram.standards import preset, reduction_cycles_for
+from repro.harness import pool, scenarios
 from repro.harness.runner import (
     Scale,
     alone_ipcs_for_mix,
@@ -41,10 +51,12 @@ from repro.harness.runner import (
     current_scale,
     mix_spec,
     run_mix,
+    run_scenario,
     run_workload,
+    scenario_spec,
     workload_spec,
 )
-from repro.harness.spec import RunSpec
+from repro.harness.spec import RunSpec, dedupe_specs
 from repro.stats.metrics import weighted_speedup
 from repro.workloads.mixes import MIX_NAMES
 from repro.workloads.spec_like import WORKLOAD_NAMES
@@ -57,6 +69,12 @@ FIG9_CAPACITIES = (64, 128, 256, 512, 1024, 2048)
 
 #: Caching-duration sweep of Figure 11 (ms).
 FIG11_DURATIONS = (1.0, 4.0, 8.0, 16.0)
+
+#: Default workloads for the scenario-matrix experiments.  Two mixes
+#: keep the full matrix (10 scaling + 6 extra standards platforms,
+#: baseline + ChargeCache each) affordable at default scale; pass
+#: ``workloads`` to widen or narrow.
+SCENARIO_WORKLOADS = ("w1", "w2")
 
 #: Pool width for experiment sweeps; None defers to REPRO_JOBS / serial.
 _default_jobs: Optional[int] = None
@@ -94,14 +112,19 @@ def _mean(values: Iterable[float]) -> float:
 # Figure 3: 8ms-RLTL vs accessed-within-8ms-of-refresh
 # ----------------------------------------------------------------------
 
+def _fig3_specs(mode: str, workloads: Optional[Sequence[str]],
+                scale: Scale) -> List[RunSpec]:
+    return [_spec(mode, name, "none", scale, enable_rltl=True)
+            for name in _names_for(mode, workloads)]
+
+
 def run_fig3(mode: str = "single",
              workloads: Optional[Sequence[str]] = None,
              scale: Optional[Scale] = None) -> Dict:
     """Fraction of activations within 8 ms of own precharge vs refresh."""
     scale = scale or current_scale()
     names = _names_for(mode, workloads)
-    sweep = _prefetch([_spec(mode, name, "none", scale, enable_rltl=True)
-                       for name in names])
+    sweep = _prefetch(_fig3_specs(mode, workloads, scale))
     rows = []
     for name in names:
         result = _run_for(mode, name, "none", scale, enable_rltl=True)
@@ -127,6 +150,14 @@ def run_fig3(mode: str = "single",
 # Figure 4: RLTL vs interval, open vs closed row policy
 # ----------------------------------------------------------------------
 
+def _fig4_specs(mode: str, workloads: Optional[Sequence[str]],
+                scale: Scale) -> List[RunSpec]:
+    return [_spec(mode, name, "none", scale, enable_rltl=True,
+                  row_policy=policy)
+            for name in _names_for(mode, workloads)
+            for policy in ("open", "closed")]
+
+
 def run_fig4(mode: str = "single",
              workloads: Optional[Sequence[str]] = None,
              intervals_ms: Sequence[float] = (0.125, 0.25, 0.5, 1.0, 32.0),
@@ -134,10 +165,7 @@ def run_fig4(mode: str = "single",
     """t-RLTL for several intervals under both row policies."""
     scale = scale or current_scale()
     names = _names_for(mode, workloads)
-    sweep = _prefetch([
-        _spec(mode, name, "none", scale, enable_rltl=True,
-              row_policy=policy)
-        for name in names for policy in ("open", "closed")])
+    sweep = _prefetch(_fig4_specs(mode, workloads, scale))
     rows = []
     for name in names:
         row = {"workload": name}
@@ -225,6 +253,16 @@ def run_table2() -> Dict:
 # Figure 7: speedups
 # ----------------------------------------------------------------------
 
+def _fig7_specs(mode: str, workloads: Optional[Sequence[str]],
+                scale: Scale,
+                mechanisms: Sequence[str] = FIG7_MECHANISMS
+                ) -> List[RunSpec]:
+    names = _names_for(mode, workloads)
+    specs = [_spec(mode, name, mech, scale)
+             for name in names for mech in ("none",) + tuple(mechanisms)]
+    return specs + _ws_specs(mode, names, scale)
+
+
 def run_fig7(mode: str = "single",
              workloads: Optional[Sequence[str]] = None,
              mechanisms: Sequence[str] = FIG7_MECHANISMS,
@@ -232,10 +270,7 @@ def run_fig7(mode: str = "single",
     """Speedup of each mechanism over baseline, plus RMPKC."""
     scale = scale or current_scale()
     names = _names_for(mode, workloads)
-    specs = [_spec(mode, name, mech, scale)
-             for name in names for mech in ("none",) + tuple(mechanisms)]
-    specs += _ws_specs(mode, names, scale)
-    sweep = _prefetch(specs)
+    sweep = _prefetch(_fig7_specs(mode, workloads, scale, mechanisms))
     rows = []
     for name in names:
         row = {"workload": name}
@@ -264,6 +299,13 @@ def run_fig7(mode: str = "single",
 # Figure 8: DRAM energy reduction
 # ----------------------------------------------------------------------
 
+def _fig8_specs(modes: Sequence[str], workloads: Optional[Sequence[str]],
+                scale: Scale) -> List[RunSpec]:
+    return [_spec(mode, name, mech, scale, idle_finished=True)
+            for mode in modes for name in _names_for(mode, workloads)
+            for mech in ("none", "chargecache")]
+
+
 def run_fig8(modes: Sequence[str] = ("single", "eight"),
              workloads: Optional[Sequence[str]] = None,
              scale: Optional[Scale] = None) -> Dict:
@@ -277,10 +319,7 @@ def run_fig8(modes: Sequence[str] = ("single", "eight"),
     ratio (both runs retire exactly the instruction limit).
     """
     scale = scale or current_scale()
-    sweep = _prefetch([
-        _spec(mode, name, mech, scale, idle_finished=True)
-        for mode in modes for name in _names_for(mode, workloads)
-        for mech in ("none", "chargecache")])
+    sweep = _prefetch(_fig8_specs(modes, workloads, scale))
     rows = []
     for mode in modes:
         names = _names_for(mode, workloads)
@@ -319,12 +358,10 @@ def run_fig8(modes: Sequence[str] = ("single", "eight"),
 # Figures 9/10: capacity sweeps
 # ----------------------------------------------------------------------
 
-def run_fig9(modes: Sequence[str] = ("single", "eight"),
-             capacities: Sequence[int] = FIG9_CAPACITIES,
-             workloads: Optional[Sequence[str]] = None,
-             scale: Optional[Scale] = None) -> Dict:
-    """HCRAC hit rate vs capacity, plus the unlimited-size bound."""
-    scale = scale or current_scale()
+def _fig9_specs(modes: Sequence[str], workloads: Optional[Sequence[str]],
+                scale: Scale,
+                capacities: Sequence[int] = FIG9_CAPACITIES
+                ) -> List[RunSpec]:
     specs = []
     for mode in modes:
         for name in _names_for(mode, workloads):
@@ -332,7 +369,16 @@ def run_fig9(modes: Sequence[str] = ("single", "eight"),
                             cc_entries=cap) for cap in capacities]
             specs.append(_spec(mode, name, "chargecache", scale,
                                cc_unbounded=True))
-    sweep = _prefetch(specs)
+    return specs
+
+
+def run_fig9(modes: Sequence[str] = ("single", "eight"),
+             capacities: Sequence[int] = FIG9_CAPACITIES,
+             workloads: Optional[Sequence[str]] = None,
+             scale: Optional[Scale] = None) -> Dict:
+    """HCRAC hit rate vs capacity, plus the unlimited-size bound."""
+    scale = scale or current_scale()
+    sweep = _prefetch(_fig9_specs(modes, workloads, scale, capacities))
     rows = []
     for mode in modes:
         names = _names_for(mode, workloads)
@@ -351,12 +397,10 @@ def run_fig9(modes: Sequence[str] = ("single", "eight"),
             "cache": sweep.annotation()}
 
 
-def run_fig10(modes: Sequence[str] = ("single", "eight"),
-              capacities: Sequence[int] = FIG9_CAPACITIES,
-              workloads: Optional[Sequence[str]] = None,
-              scale: Optional[Scale] = None) -> Dict:
-    """Speedup vs HCRAC capacity."""
-    scale = scale or current_scale()
+def _fig10_specs(modes: Sequence[str], workloads: Optional[Sequence[str]],
+                 scale: Scale,
+                 capacities: Sequence[int] = FIG9_CAPACITIES
+                 ) -> List[RunSpec]:
     specs = []
     for mode in modes:
         names = _names_for(mode, workloads)
@@ -365,7 +409,16 @@ def run_fig10(modes: Sequence[str] = ("single", "eight"),
             specs += [_spec(mode, name, "chargecache", scale,
                             cc_entries=cap) for cap in capacities]
         specs += _ws_specs(mode, names, scale)
-    sweep = _prefetch(specs)
+    return specs
+
+
+def run_fig10(modes: Sequence[str] = ("single", "eight"),
+              capacities: Sequence[int] = FIG9_CAPACITIES,
+              workloads: Optional[Sequence[str]] = None,
+              scale: Optional[Scale] = None) -> Dict:
+    """Speedup vs HCRAC capacity."""
+    scale = scale or current_scale()
+    sweep = _prefetch(_fig10_specs(modes, workloads, scale, capacities))
     rows = []
     for mode in modes:
         names = _names_for(mode, workloads)
@@ -387,6 +440,22 @@ def run_fig10(modes: Sequence[str] = ("single", "eight"),
 # Figure 11: caching-duration sweep
 # ----------------------------------------------------------------------
 
+def _fig11_specs(modes: Sequence[str], workloads: Optional[Sequence[str]],
+                 scale: Scale,
+                 durations_ms: Sequence[float] = FIG11_DURATIONS
+                 ) -> List[RunSpec]:
+    specs = []
+    for mode in modes:
+        names = _names_for(mode, workloads)
+        for name in names:
+            specs.append(_spec(mode, name, "none", scale))
+            specs += [_spec(mode, name, "chargecache", scale,
+                            cc_duration_ms=duration)
+                      for duration in durations_ms]
+        specs += _ws_specs(mode, names, scale)
+    return specs
+
+
 def run_fig11(modes: Sequence[str] = ("single", "eight"),
               durations_ms: Sequence[float] = FIG11_DURATIONS,
               workloads: Optional[Sequence[str]] = None,
@@ -398,16 +467,7 @@ def run_fig11(modes: Sequence[str] = ("single", "eight"),
     1 ms the sweet spot.
     """
     scale = scale or current_scale()
-    specs = []
-    for mode in modes:
-        names = _names_for(mode, workloads)
-        for name in names:
-            specs.append(_spec(mode, name, "none", scale))
-            specs += [_spec(mode, name, "chargecache", scale,
-                            cc_duration_ms=duration)
-                      for duration in durations_ms]
-        specs += _ws_specs(mode, names, scale)
-    sweep = _prefetch(specs)
+    sweep = _prefetch(_fig11_specs(modes, workloads, scale, durations_ms))
     rows = []
     for mode in modes:
         names = _names_for(mode, workloads)
@@ -437,6 +497,10 @@ def run_fig11(modes: Sequence[str] = ("single", "eight"),
 # Section 6.3: area & power overhead
 # ----------------------------------------------------------------------
 
+def _sec63_specs(scale: Scale, mix: str = "w1") -> List[RunSpec]:
+    return [mix_spec(mix, "chargecache", scale)]
+
+
 def run_sec63(scale: Optional[Scale] = None,
               mix: str = "w1") -> Dict:
     """ChargeCache hardware overhead (paper Section 6.3).
@@ -446,7 +510,7 @@ def run_sec63(scale: Optional[Scale] = None,
     """
     scale = scale or current_scale()
     overhead = hcrac_overhead()  # paper's 8-core, 2-channel, 128-entry
-    sweep = _prefetch([mix_spec(mix, "chargecache", scale)])
+    sweep = _prefetch(_sec63_specs(scale, mix))
     result = run_mix(mix, "chargecache", scale)
     seconds = result.mem_cycles * DDR3_1600.tCK_ns * 1e-9
     rate = ((result.activations + result.reads + result.writes) / seconds
@@ -466,6 +530,171 @@ def run_sec63(scale: Optional[Scale] = None,
                   "power_fraction_of_llc": 0.0023},
         "cache": sweep.annotation(),
     }
+
+
+# ----------------------------------------------------------------------
+# Scenario matrix: scaling (cores x ranks) and standards (timing
+# grades) sensitivity figures, modeled on Figures 10/11-style plots
+# ----------------------------------------------------------------------
+
+def _scenario_names_for(workloads: Optional[Sequence[str]]) -> List[str]:
+    return list(workloads) if workloads is not None \
+        else list(SCENARIO_WORKLOADS)
+
+
+def _scenario_specs(scenario_names: Sequence[str],
+                    workloads: Optional[Sequence[str]],
+                    scale: Scale) -> List[RunSpec]:
+    names = _scenario_names_for(workloads)
+    return [scenario_spec(scen, name, mech, scale)
+            for scen in scenario_names
+            for name in names
+            for mech in ("none", "chargecache")]
+
+
+def _scaling_specs(workloads: Optional[Sequence[str]],
+                   scale: Scale) -> List[RunSpec]:
+    return _scenario_specs(scenarios.SCALING_SCENARIOS, workloads, scale)
+
+
+def _standards_specs(workloads: Optional[Sequence[str]],
+                     scale: Scale) -> List[RunSpec]:
+    return _scenario_specs(scenarios.STANDARD_SCENARIOS, workloads, scale)
+
+
+def _scenario_row(scen_name: str, names: Sequence[str],
+                  scale: Scale) -> Dict:
+    """Baseline-vs-ChargeCache aggregate for one platform."""
+    scen = scenarios.scenario(scen_name)
+    speedups, hits, rmpkcs, row_hits, lats = [], [], [], [], []
+    for name in names:
+        base = run_scenario(scen_name, name, "none", scale)
+        cc = run_scenario(scen_name, name, "chargecache", scale)
+        if base.total_ipc:
+            speedups.append(cc.total_ipc / base.total_ipc - 1.0)
+        hits.append(cc.mechanism_hit_rate)
+        rmpkcs.append(base.rmpkc())
+        row_hits.append(base.row_hit_rate)
+        lats.append(base.average_read_latency_cycles)
+    row = scen.axes()
+    row.update({
+        "rmpkc": _mean(rmpkcs),
+        "row_hit": _mean(row_hits),
+        "read_latency": _mean(lats),
+        "cc_hit_rate": _mean(hits),
+        "cc_speedup": _mean(speedups),
+    })
+    return row
+
+
+def run_scaling(workloads: Optional[Sequence[str]] = None,
+                scale: Optional[Scale] = None) -> Dict:
+    """ChargeCache sensitivity to core count and ranks per channel.
+
+    Sweeps the scaling family of :mod:`repro.harness.scenarios`
+    (1/2/4/8/16 cores x 1/2 ranks per channel on DDR3-1600) with the
+    baseline and ChargeCache on each platform.  Speedup here is the
+    total-IPC ratio on the same platform (not weighted speedup — the
+    alone-run denominators of Figure 7b are platform-specific and
+    would conflate the platform change with the mechanism's effect).
+    """
+    scale = scale or current_scale()
+    names = _scenario_names_for(workloads)
+    sweep = _prefetch(_scaling_specs(workloads, scale))
+    rows = [_scenario_row(scen, names, scale)
+            for scen in scenarios.SCALING_SCENARIOS]
+    return {"id": "scaling", "workloads": names,
+            "core_counts": list(scenarios.SCALING_CORE_COUNTS),
+            "ranks": list(scenarios.SCALING_RANKS),
+            "rows": rows, "cache": sweep.annotation()}
+
+
+def run_standards(workloads: Optional[Sequence[str]] = None,
+                  scale: Optional[Scale] = None) -> Dict:
+    """ChargeCache across DDR-derived timing grades (paper Section 7.2).
+
+    Single-core and eight-core platforms on each preset of
+    :mod:`repro.dram.standards`.  Each row also records the preset's
+    baseline tRCD/tRAS and the ChargeCache reductions re-derived in
+    that standard's bus cycles (the physical ~5/10 ns charge headroom
+    is more cycles on a faster clock).
+    """
+    scale = scale or current_scale()
+    names = _scenario_names_for(workloads)
+    sweep = _prefetch(_standards_specs(workloads, scale))
+    rows = []
+    for scen_name in scenarios.STANDARD_SCENARIOS:
+        scen = scenarios.scenario(scen_name)
+        timing = preset(scen.standard)
+        trcd_red, tras_red = reduction_cycles_for(timing)
+        row = _scenario_row(scen_name, names, scale)
+        row.update({
+            "trcd": timing.tRCD,
+            "tras": timing.tRAS,
+            "trcd_reduction": trcd_red,
+            "tras_reduction": tras_red,
+        })
+        rows.append(row)
+    return {"id": "standards", "workloads": names,
+            "standards": sorted({scenarios.scenario(n).standard
+                                 for n in scenarios.STANDARD_SCENARIOS}),
+            "rows": rows, "cache": sweep.annotation()}
+
+
+# ----------------------------------------------------------------------
+# Cross-experiment sweep declaration (the `all` command's shared pool)
+# ----------------------------------------------------------------------
+
+#: Experiment id -> callable(workloads, scale) -> flat RunSpec list.
+#: Mirrors the defaults of the matching ``run_*`` call in the CLI's
+#: experiment table; ids without a sweep (fig6, table1, table2) are
+#: simply absent.  tests/harness/test_shared_pool.py asserts the
+#: declarations stay in sync with what the experiments actually run.
+SWEEP_DECLARATIONS = {
+    "fig3a": lambda w, s: _fig3_specs("single", w, s),
+    "fig3b": lambda w, s: _fig3_specs("eight", w, s),
+    "fig4a": lambda w, s: _fig4_specs("single", w, s),
+    "fig4b": lambda w, s: _fig4_specs("eight", w, s),
+    "fig7a": lambda w, s: _fig7_specs("single", w, s),
+    "fig7b": lambda w, s: _fig7_specs("eight", w, s),
+    "fig8": lambda w, s: _fig8_specs(("single", "eight"), w, s),
+    "fig9": lambda w, s: _fig9_specs(("single", "eight"), w, s),
+    "fig10": lambda w, s: _fig10_specs(("single", "eight"), w, s),
+    "fig11": lambda w, s: _fig11_specs(("single", "eight"), w, s),
+    "sec63": lambda w, s: _sec63_specs(s),
+    "scaling": lambda w, s: _scaling_specs(w, s),
+    "standards": lambda w, s: _standards_specs(w, s),
+}
+
+
+def declared_specs(names: Sequence[str],
+                   workloads: Optional[Sequence[str]] = None,
+                   scale: Optional[Scale] = None) -> List[RunSpec]:
+    """The deduplicated union of the named experiments' sweeps."""
+    scale = scale or current_scale()
+    specs: List[RunSpec] = []
+    for name in names:
+        declaration = SWEEP_DECLARATIONS.get(name)
+        if declaration is not None:
+            specs += declaration(workloads, scale)
+    return dedupe_specs(specs)
+
+
+def prefetch_experiments(names: Sequence[str],
+                         workloads: Optional[Sequence[str]] = None,
+                         scale: Optional[Scale] = None) -> pool.Sweep:
+    """Execute every named experiment's sweep through ONE shared pool.
+
+    Collects each experiment's declared specs, dedupes them (cache
+    keys are injective in specs, so spec identity is key identity),
+    and fans the union out in a single :func:`pool.execute_sweep`
+    call: one ProcessPoolExecutor serves the whole batch, so workers
+    drain the global frontier instead of idling at per-experiment
+    sweep tails, and each distinct cache key is computed at most once.
+    The experiments run afterwards find every point in the runner memo
+    and fork nothing.
+    """
+    return _prefetch(declared_specs(names, workloads, scale))
 
 
 # ----------------------------------------------------------------------

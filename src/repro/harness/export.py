@@ -85,6 +85,7 @@ def export_cache_manifest(results: Dict[str, Dict]) -> str:
                 "point": point["label"],
                 "source": point["source"],
                 "cache_hit": point["source"] != "computed",
+                "cache_key": point.get("key", ""),
             })
     return rows_to_csv(rows)
 

@@ -94,11 +94,18 @@ class Sweep:
         return counts
 
     def annotation(self) -> Dict:
-        """JSON-friendly cache/parallelism summary for result dicts."""
+        """JSON-friendly cache/parallelism summary for result dicts.
+
+        Each point also records its content-addressed cache key so
+        provenance exports (cache_manifest.csv) can be joined against
+        the cache directory — e.g. to assert that a cold ``all`` run
+        executed every distinct key exactly once.
+        """
         info = self.counts()
         info["jobs"] = self.jobs
         info["points_detail"] = [
-            {"label": p.spec.label(), "source": p.source}
+            {"label": p.spec.label(), "source": p.source,
+             "key": run_cache.cache_key(p.spec)}
             for p in self._unique_points()]
         return info
 

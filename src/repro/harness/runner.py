@@ -174,6 +174,21 @@ def alone_spec(name: str, scale: Optional[Scale] = None, *,
     return _build_spec("alone", name, "none", scale, engine, seed=seed)
 
 
+def scenario_spec(scenario: str, name: str, mechanism: str = "none",
+                  scale: Optional[Scale] = None, *,
+                  engine: Optional[str] = None, **kwargs) -> RunSpec:
+    """Spec for one workload/mix on a named scale-out scenario.
+
+    The scenario (and the workload) are validated eagerly so a typo
+    fails at declaration time, not inside a pool worker mid-sweep.
+    """
+    from repro.harness import scenarios
+    scen = scenarios.scenario(scenario)
+    scenarios.scenario_workload_names(scen, name)
+    return _build_spec("scenario", name, mechanism, scale, engine,
+                       scenario=scenario, **kwargs)
+
+
 def alone_specs_for_mix(mix: str, scale: Optional[Scale] = None, *,
                         seed: int = 1,
                         engine: Optional[str] = None) -> List[RunSpec]:
@@ -313,6 +328,27 @@ def run_spec(spec: RunSpec) -> RunResult:
 def _execute_spec(spec: RunSpec) -> RunResult:
     """Actually simulate one spec (no caching)."""
     scale = spec.scale
+    if spec.kind == "scenario":
+        from repro.harness import scenarios
+        scen = scenarios.scenario(spec.scenario)
+        cfg = scenarios.scenario_config(
+            spec.scenario, spec.mechanism, scale,
+            cc_entries=spec.cc_entries,
+            cc_duration_ms=spec.cc_duration_ms,
+            cc_unbounded=spec.cc_unbounded,
+            engine=spec.engine)
+        if spec.row_policy is not None:
+            cfg = replace(cfg, controller=replace(
+                cfg.controller, row_policy=spec.row_policy))
+        if spec.idle_finished:
+            cfg = replace(cfg, idle_finished_cores=True)
+        org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
+        traces = scenarios.scenario_traces(scen, spec.name, org,
+                                           seed=spec.seed)
+        system = System(cfg, traces,
+                        enable_rltl=spec.enable_rltl,
+                        rltl_time_scale=scale.time_scale)
+        return system.run(max_mem_cycles=scale.max_mem_cycles)
     if spec.kind == "alone":
         cfg = eight_core_config("none")
         cfg = replace(cfg,
@@ -387,6 +423,14 @@ def run_alone(name: str, scale: Optional[Scale] = None,
               seed: int = 1, engine: Optional[str] = None) -> RunResult:
     """One application alone on the eight-core platform (for WS)."""
     return run_spec(alone_spec(name, scale, seed=seed, engine=engine))
+
+
+def run_scenario(scenario: str, name: str, mechanism: str = "none",
+                 scale: Optional[Scale] = None, *,
+                 engine: Optional[str] = None, **kwargs) -> RunResult:
+    """Run one workload/mix on a named scenario (memoised)."""
+    return run_spec(scenario_spec(scenario, name, mechanism, scale,
+                                  engine=engine, **kwargs))
 
 
 def alone_ipcs_for_mix(mix: str, scale: Optional[Scale] = None,

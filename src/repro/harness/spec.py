@@ -41,8 +41,10 @@ DEFAULT_TIME_SCALE = 64.0
 #: regime.
 DEFAULT_CC_TIME_SCALE = 8.0
 
-#: The three run shapes the harness knows how to execute.
-RUN_KINDS = ("single", "eight", "alone")
+#: The run shapes the harness knows how to execute.  "scenario" runs
+#: name a platform from :mod:`repro.harness.scenarios` in the spec's
+#: ``scenario`` field; the other kinds are the paper's fixed platforms.
+RUN_KINDS = ("single", "eight", "alone", "scenario")
 
 
 @dataclass(frozen=True)
@@ -103,11 +105,20 @@ class RunSpec:
     idle_finished: bool = False
     seed: int = 1
     engine: str = "event"
+    #: Platform name from :mod:`repro.harness.scenarios` (kind
+    #: "scenario" only).  Scenario names are stable registry keys, so
+    #: they are legitimate cache-key material; the code fingerprint
+    #: covers the registry's definitions themselves.
+    scenario: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in RUN_KINDS:
             raise ValueError(
                 f"unknown run kind {self.kind!r}; expected one of {RUN_KINDS}")
+        if (self.kind == "scenario") != (self.scenario is not None):
+            raise ValueError(
+                "scenario runs (and only scenario runs) must name a "
+                f"scenario: kind={self.kind!r}, scenario={self.scenario!r}")
 
     def key_payload(self) -> Dict:
         """JSON-stable dict of every field that defines this run.
@@ -129,6 +140,8 @@ class RunSpec:
     def label(self) -> str:
         """Short human-readable tag for progress and annotations."""
         parts = [self.kind, self.name, self.mechanism]
+        if self.scenario is not None:
+            parts.insert(1, self.scenario)
         for attr, tag in (("cc_entries", "e"), ("cc_duration_ms", "d"),
                           ("row_policy", "rp")):
             value = getattr(self, attr)

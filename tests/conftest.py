@@ -52,19 +52,26 @@ def paper_org():
 
 
 def tiny_config(mechanism: str = "none", num_cores: int = 1,
-                channels: int = 1, instruction_limit: int = 3000,
+                channels: int = 1, ranks: int = 1,
+                standard: str = "DDR3-1600",
+                instruction_limit: int = 3000,
                 warmup: int = 1000, row_policy: str = "open",
                 **cc_kwargs) -> SimulationConfig:
     """A configuration small and fast enough for unit tests.
 
     Uses a 64 KB LLC so DRAM traffic appears quickly, and a reduced
-    DRAM geometry to keep footprints small.
+    DRAM geometry to keep footprints small.  ``ranks`` and
+    ``standard`` open the multi-rank and timing-grade axes; the bus
+    frequency always tracks the standard's preset.
     """
+    from repro.dram.standards import preset
     cc = ChargeCacheConfig(time_scale=512.0, **cc_kwargs)
     cfg = SimulationConfig(
         processor=ProcessorConfig(num_cores=num_cores),
         cache=CacheConfig(size_bytes=64 * 1024, associativity=4),
-        dram=DRAMConfig(channels=channels, rows_per_bank=4096),
+        dram=DRAMConfig(channels=channels, ranks_per_channel=ranks,
+                        rows_per_bank=4096, standard=standard,
+                        bus_freq_mhz=preset(standard).freq_mhz),
         controller=ControllerConfig(row_policy=row_policy),
         chargecache=cc,
         mechanism=mechanism,

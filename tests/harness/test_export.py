@@ -81,20 +81,21 @@ class TestCacheManifest:
                            "computed": 1, "jobs": 2,
                            "points_detail": [
                                {"label": "single:mcf:chargecache",
-                                "source": "disk"},
+                                "source": "disk", "key": "aa" * 32},
                                {"label": "single:mcf:none",
-                                "source": "computed"}]}},
+                                "source": "computed", "key": "bb" * 32}]}},
         "table2": {"id": "table2", "rows": []},  # not annotated
     }
 
     def test_manifest_rows(self):
         rows = list(csv.reader(io.StringIO(
             export_cache_manifest(self.RESULTS))))
-        assert rows[0] == ["experiment", "point", "source", "cache_hit"]
+        assert rows[0] == ["experiment", "point", "source", "cache_hit",
+                           "cache_key"]
         assert rows[1] == ["fig9", "single:mcf:chargecache", "disk",
-                           "True"]
+                           "True", "aa" * 32]
         assert rows[2] == ["fig9", "single:mcf:none", "computed",
-                           "False"]
+                           "False", "bb" * 32]
         assert len(rows) == 3  # table2 contributes nothing
 
     def test_empty_when_nothing_annotated(self):

@@ -86,8 +86,8 @@ class TestCacheKey:
             "seed": 4,
             "engine": "dense",
         }
-        assert set(variants) == {f.name for f in
-                                 dataclasses.fields(RunSpec)}, \
+        assert set(variants) | {"scenario"} == \
+            {f.name for f in dataclasses.fields(RunSpec)}, \
             "new RunSpec field needs a key-sensitivity case here"
         keys = {base}
         for field, value in variants.items():
@@ -96,6 +96,17 @@ class TestCacheKey:
             assert key != base, f"{field} change did not change the key"
             keys.add(key)
         assert len(keys) == len(variants) + 1  # all pairwise distinct
+
+    def test_scenario_field_changes_key(self):
+        """The scenario name is platform identity (kind and scenario
+        flip together — __post_init__ couples them)."""
+        on_scenario = dataclasses.replace(SPEC, kind="scenario",
+                                          scenario="c1-r1")
+        other_scenario = dataclasses.replace(on_scenario,
+                                             scenario="c1-r2")
+        keys = {cache_key(SPEC), cache_key(on_scenario),
+                cache_key(other_scenario)}
+        assert len(keys) == 3
 
     def test_scale_subfield_changes_key(self):
         changed = dataclasses.replace(

@@ -1,0 +1,201 @@
+"""Unit tests for the scale-out scenario registry.
+
+Scenario names feed run-cache keys, so this suite locks both the
+published name set and each name's platform binding: renaming is a
+visible (golden-test) change, silently re-binding a name to a
+different platform is a bug.
+"""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.harness import scenarios
+from repro.harness.scenarios import (
+    SCALING_SCENARIOS,
+    STANDARD_SCENARIOS,
+    Scenario,
+    register_scenario,
+    scenario,
+    scenario_config,
+    scenario_names,
+    scenario_traces,
+    scenario_workload_names,
+)
+from repro.harness.spec import RunSpec, Scale
+
+TINY = Scale(single_core_instructions=2000, multi_core_instructions=900,
+             warmup_cpu_cycles=1000, max_mem_cycles=300_000)
+
+#: Golden copy of the registry: name -> (cores, channels, ranks,
+#: standard, policy).  A failure here means a cache-key-visible change
+#: — fine if intentional (new names invalidate nothing), but a changed
+#: *binding* for an existing name must instead use a new name.
+GOLDEN = {
+    "c1-r1": (1, 1, 1, "DDR3-1600", "open"),
+    "c1-r2": (1, 1, 2, "DDR3-1600", "open"),
+    "c2-r1": (2, 1, 1, "DDR3-1600", "closed"),
+    "c2-r2": (2, 1, 2, "DDR3-1600", "closed"),
+    "c4-r1": (4, 2, 1, "DDR3-1600", "closed"),
+    "c4-r2": (4, 2, 2, "DDR3-1600", "closed"),
+    "c8-r1": (8, 2, 1, "DDR3-1600", "closed"),
+    "c8-r2": (8, 2, 2, "DDR3-1600", "closed"),
+    "c16-r1": (16, 2, 1, "DDR3-1600", "closed"),
+    "c16-r2": (16, 2, 2, "DDR3-1600", "closed"),
+    "ddr4-2400-c1": (1, 1, 1, "DDR4-2400", "open"),
+    "ddr4-2400-c8": (8, 2, 1, "DDR4-2400", "closed"),
+    "lpddr3-1600-c1": (1, 1, 1, "LPDDR3-1600", "open"),
+    "lpddr3-1600-c8": (8, 2, 1, "LPDDR3-1600", "closed"),
+    "gddr5-4000-c1": (1, 1, 1, "GDDR5-4000", "open"),
+    "gddr5-4000-c8": (8, 2, 1, "GDDR5-4000", "closed"),
+}
+
+
+class TestRegistry:
+    def test_names_are_stable(self):
+        assert set(scenario_names()) == set(GOLDEN)
+
+    def test_platform_bindings_are_stable(self):
+        for name, (cores, channels, ranks, std, policy) in GOLDEN.items():
+            scen = scenario(name)
+            assert (scen.num_cores, scen.channels,
+                    scen.ranks_per_channel, scen.standard,
+                    scen.row_policy) == (cores, channels, ranks, std,
+                                         policy), name
+
+    def test_no_two_names_share_a_platform(self):
+        """Duplicate platforms under two names would run (and cache)
+        the same simulation twice in the shared `all` sweep."""
+        platforms = {}
+        for scen in scenarios.all_scenarios():
+            key = (scen.num_cores, scen.channels, scen.ranks_per_channel,
+                   scen.standard, scen.row_policy)
+            assert key not in platforms, (
+                f"{scen.name} duplicates {platforms[key]}")
+            platforms[key] = scen.name
+
+    def test_experiment_families_are_registered(self):
+        for name in SCALING_SCENARIOS + STANDARD_SCENARIOS:
+            scenario(name)  # must not raise
+
+    def test_scaling_family_covers_the_matrix(self):
+        cores = {scenario(n).num_cores for n in SCALING_SCENARIOS}
+        ranks = {scenario(n).ranks_per_channel for n in SCALING_SCENARIOS}
+        assert cores == {1, 2, 4, 8, 16}
+        assert ranks == {1, 2}
+
+    def test_standards_family_covers_every_preset(self):
+        from repro.dram.standards import PRESETS
+        stds = {scenario(n).standard for n in STANDARD_SCENARIOS}
+        assert stds == set(PRESETS)
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            scenario("c3-r1")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(Scenario(name="c1-r1"))
+
+
+class TestValidation:
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ValueError,
+                           match="ranks_per_channel must be >= 1"):
+            Scenario(name="bad", ranks_per_channel=0).validate()
+
+    def test_non_power_of_two_ranks_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            Scenario(name="bad", ranks_per_channel=3).validate()
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError, match="num_cores must be >= 1"):
+            Scenario(name="bad", num_cores=0).validate()
+
+    def test_unknown_standard_rejected(self):
+        with pytest.raises(ValueError, match="unknown standard"):
+            Scenario(name="bad", standard="RLDRAM-3").validate()
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown row policy"):
+            Scenario(name="bad", row_policy="adaptive").validate()
+
+    def test_whitespace_name_rejected(self):
+        with pytest.raises(ValueError, match="whitespace-free"):
+            Scenario(name="c1 r1").validate()
+
+
+class TestConfigConstruction:
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_every_scenario_builds_a_valid_config(self, name):
+        cfg = scenario_config(name, "chargecache", TINY)
+        assert isinstance(cfg, SimulationConfig)
+        cfg.validate()  # idempotent; scenario_config validated already
+        scen = scenario(name)
+        assert cfg.processor.num_cores == scen.num_cores
+        assert cfg.dram.channels == scen.channels
+        assert cfg.dram.ranks_per_channel == scen.ranks_per_channel
+        assert cfg.dram.standard == scen.standard
+        assert cfg.controller.row_policy == scen.row_policy
+        # Bus frequency always tracks the standard.
+        assert cfg.dram.bus_freq_mhz == scen.timing.freq_mhz
+
+    def test_reductions_rescale_with_the_clock(self):
+        """~5/10 ns of charge headroom is more cycles on faster buses."""
+        ddr3 = scenario_config("c1-r1", "chargecache", TINY).chargecache
+        gddr5 = scenario_config("gddr5-4000-c1", "chargecache",
+                                TINY).chargecache
+        assert (ddr3.trcd_reduction_cycles,
+                ddr3.tras_reduction_cycles) == (4, 8)
+        assert gddr5.trcd_reduction_cycles > ddr3.trcd_reduction_cycles
+        assert gddr5.tras_reduction_cycles > ddr3.tras_reduction_cycles
+
+    def test_instruction_budget_follows_core_count(self):
+        single = scenario_config("c1-r1", "none", TINY)
+        multi = scenario_config("c4-r1", "none", TINY)
+        assert single.instruction_limit == TINY.single_core_instructions
+        assert multi.instruction_limit == TINY.multi_core_instructions
+
+
+class TestWorkloads:
+    def test_mix_cycles_to_core_count(self):
+        from repro.workloads.mixes import mix_composition
+        apps = mix_composition("w1")
+        names16 = scenario_workload_names(scenario("c16-r1"), "w1")
+        assert len(names16) == 16
+        assert names16 == apps + apps
+        names2 = scenario_workload_names(scenario("c2-r1"), "w1")
+        assert names2 == apps[:2]
+
+    def test_single_application_replicates(self):
+        names = scenario_workload_names(scenario("c4-r1"), "mcf")
+        assert names == ["mcf"] * 4
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            scenario_workload_names(scenario("c1-r1"), "nosuchapp")
+
+    def test_traces_match_core_count(self):
+        from repro.dram.organization import Organization
+        cfg = scenario_config("c2-r2", "none", TINY)
+        org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
+        traces = scenario_traces(scenario("c2-r2"), "w1", org)
+        assert len(traces) == 2
+
+
+class TestSpecs:
+    def test_scenario_spec_validates_eagerly(self):
+        from repro.harness.runner import scenario_spec
+        with pytest.raises(KeyError, match="unknown scenario"):
+            scenario_spec("c3-r1", "w1")
+        with pytest.raises(KeyError, match="unknown workload"):
+            scenario_spec("c1-r1", "nosuchapp")
+        spec = scenario_spec("c2-r2", "w1", "chargecache", TINY)
+        assert spec.kind == "scenario"
+        assert spec.scenario == "c2-r2"
+        assert "c2-r2" in spec.label()
+
+    def test_spec_kind_scenario_coupling(self):
+        with pytest.raises(ValueError, match="scenario runs"):
+            RunSpec(kind="scenario", name="w1")
+        with pytest.raises(ValueError, match="scenario runs"):
+            RunSpec(kind="single", name="mcf", scenario="c1-r1")

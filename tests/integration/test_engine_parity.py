@@ -106,6 +106,52 @@ def test_event_engine_is_default():
     assert cfg.engine == "event"
 
 
+# ----------------------------------------------------------------------
+# Scenario-matrix parity: the wake-up bounds must stay exact on every
+# scale-out axis (multi-core, multi-rank, each non-DDR3 timing grade),
+# not just the paper's base platforms.
+# ----------------------------------------------------------------------
+
+#: Sampled grid: >=2 cores, 2 ranks/channel, and every non-DDR3 preset.
+SCENARIO_PARITY_GRID = (
+    ("c2-r2", "chargecache"),       # 2 cores, 2 ranks on one channel
+    ("c4-r1", "none"),              # 4 cores, 2 channels
+    ("c1-r2", "nuat"),              # multi-rank refresh-age interplay
+    ("ddr4-2400-c1", "chargecache"),
+    ("lpddr3-1600-c1", "chargecache"),   # 2x refresh cadence
+    ("gddr5-4000-c1", "chargecache"),    # fastest clock, deep timings
+    ("ddr4-2400-c8", "none"),            # 8 cores on a non-DDR3 grade
+)
+
+def _scenario_parity_run(scenario_name, mechanism, engine):
+    from repro.harness import scenarios
+    from repro.harness.spec import Scale
+    from repro.dram.organization import Organization
+
+    scale = Scale(single_core_instructions=2500,
+                  multi_core_instructions=900,
+                  warmup_cpu_cycles=1000, max_mem_cycles=500_000)
+    cfg = scenarios.scenario_config(scenario_name, mechanism, scale,
+                                    engine=engine)
+    org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
+    scen = scenarios.scenario(scenario_name)
+    traces = scenarios.scenario_traces(scen, "w1", org)
+    return System(cfg, traces).run(max_mem_cycles=scale.max_mem_cycles)
+
+
+@pytest.mark.parametrize("scenario_name,mechanism", SCENARIO_PARITY_GRID)
+def test_scenario_matrix_parity(scenario_name, mechanism):
+    dense = _scenario_parity_run(scenario_name, mechanism, "dense")
+    event = _scenario_parity_run(scenario_name, mechanism, "event")
+    for field in PARITY_FIELDS:
+        assert getattr(event, field) == getattr(dense, field), (
+            f"engine divergence on {scenario_name}/{mechanism} "
+            f"field {field!r}: event={getattr(event, field)!r} "
+            f"dense={getattr(dense, field)!r}")
+    # The run exercised DRAM (a vacuous parity proves nothing).
+    assert dense.activations > 0
+
+
 def test_run_cache_hit_is_bit_identical_per_engine(tmp_path):
     """A persistent-cache hit must be indistinguishable from a fresh
     run for *both* engines, so the cache can never mask (or fake) an
