@@ -11,6 +11,14 @@ Scaling: budgets come from :func:`repro.harness.runner.current_scale`,
 so ``REPRO_SCALE=4 pytest benchmarks/ --benchmark-only`` runs 4x longer
 simulations (see EXPERIMENTS.md for the scaling used in the recorded
 results).
+
+Parallelism: every figure's sweep runs through the shared process pool
+(:mod:`repro.harness.pool`).  ``pytest benchmarks/ --jobs 8`` (or
+``REPRO_JOBS=8``; ``--jobs 0`` = one worker per CPU) fans each sweep
+out over worker processes — per-figure wall-clock then measures the
+parallel sweep, which is the number the engine-throughput comparisons
+care about.  The default remains serial so recorded single-process
+timings stay comparable.
 """
 
 from __future__ import annotations
@@ -21,6 +29,14 @@ import pytest
 
 from repro.harness.report import render_experiment
 from repro.harness.runner import current_scale
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan each figure's sweep over N worker processes "
+             "(default: $REPRO_JOBS or serial; 0 = one per CPU); "
+             "results are identical for every N")
 
 
 @pytest.fixture(autouse=True, scope="session")
@@ -35,6 +51,19 @@ def _no_persistent_run_cache():
     runner.configure_disk_cache(None, enabled=False)
     yield
     runner.configure_disk_cache(prev[1], enabled=prev[0])
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _sweep_jobs(request):
+    """Route every figure's sweep through the shared pool at the width
+    selected by ``--jobs`` (or, when absent, the ``REPRO_JOBS``
+    environment variable that :func:`repro.harness.pool.resolve_jobs`
+    consults)."""
+    from repro.harness import experiments
+    jobs = request.config.getoption("--jobs", default=None)
+    experiments.set_default_jobs(jobs)
+    yield
+    experiments.set_default_jobs(None)
 
 
 @pytest.fixture(scope="session")

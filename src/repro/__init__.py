@@ -15,7 +15,9 @@ Public API quick tour::
 
 Subpackages:
 
-* :mod:`repro.core` - ChargeCache, NUAT, LL-DRAM mechanisms.
+* :mod:`repro.core` - ChargeCache, NUAT, LL-DRAM, AL-DRAM mechanisms
+  and the mechanism registry/spec mini-language
+  (``cfg = single_core_config(mechanism="chargecache(entries=256)+nuat")``).
 * :mod:`repro.dram` - DDR3 device timing model.
 * :mod:`repro.controller` - FR-FCFS memory controller.
 * :mod:`repro.cpu` - trace-driven cores, LLC, system runner.
@@ -38,6 +40,12 @@ from repro.config import (
     eight_core_config,
     MECHANISMS,
 )
+from repro.core.registry import (
+    canonical_spec,
+    mechanism_names,
+    parse_mechanism_spec,
+    register_mechanism,
+)
 from repro.cpu.system import System, RunResult
 from repro.dram.organization import Organization
 from repro.dram.timing import DDR3_1600, TimingParameters
@@ -59,6 +67,10 @@ __all__ = [
     "single_core_config",
     "eight_core_config",
     "MECHANISMS",
+    "canonical_spec",
+    "mechanism_names",
+    "parse_mechanism_spec",
+    "register_mechanism",
     "System",
     "RunResult",
     "Organization",

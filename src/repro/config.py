@@ -24,7 +24,12 @@ DEFAULT_CPU_FREQ_GHZ = 4.0
 #: DDR3-1600 bus frequency in MHz (Table 1).
 DEFAULT_BUS_FREQ_MHZ = 800.0
 
-#: Known latency-mechanism names accepted by :class:`SimulationConfig`.
+#: The pre-registry fixed mechanism menu, kept as a deprecation shim:
+#: every name here must keep resolving through
+#: :mod:`repro.core.registry` (guarded in CI and
+#: tests/core/test_registry.py).  The validated surface is now any
+#: spec :func:`repro.core.registry.parse_mechanism_spec` accepts, e.g.
+#: ``"chargecache(entries=256,duration_ms=0.5)+nuat"``.
 MECHANISMS = ("none", "chargecache", "nuat", "chargecache+nuat",
               "lldram", "aldram", "chargecache+aldram")
 
@@ -287,9 +292,11 @@ class SimulationConfig:
         self.chargecache.validate()
         self.nuat.validate()
         self.execution.validate()
-        if self.mechanism not in MECHANISMS:
-            raise ValueError(
-                f"unknown mechanism {self.mechanism!r}; expected one of {MECHANISMS}")
+        # The mechanism is a registry spec, not a fixed menu: any
+        # +-composition of registered mechanisms with inline parameter
+        # overrides is legal (parse errors carry the details).
+        from repro.core.registry import parse_mechanism_spec
+        parse_mechanism_spec(self.mechanism)
         if self.instruction_limit < 1:
             raise ValueError("instruction_limit must be >= 1")
         if self.warmup_cpu_cycles < 0:
@@ -299,12 +306,22 @@ class SimulationConfig:
                 f"unknown engine {self.engine!r}; expected one of {ENGINES}")
 
     def with_mechanism(self, mechanism: str) -> "SimulationConfig":
-        """Return a copy of this config with a different latency mechanism."""
-        return replace(self, mechanism=mechanism)
+        """Return a copy of this config with a different latency
+        mechanism.
+
+        The copy is re-validated so an invalid spec fails here, at the
+        call site, rather than later inside a channel build.
+        """
+        cfg = replace(self, mechanism=mechanism)
+        cfg.validate()
+        return cfg
 
     def with_engine(self, engine: str) -> "SimulationConfig":
-        """Return a copy of this config running on a different engine."""
-        return replace(self, engine=engine)
+        """Return a copy of this config running on a different engine
+        (re-validated, like :meth:`with_mechanism`)."""
+        cfg = replace(self, engine=engine)
+        cfg.validate()
+        return cfg
 
 
 def single_core_config(mechanism: str = "none", **overrides) -> SimulationConfig:

@@ -9,6 +9,15 @@ mechanisms it is evaluated against.
   bound (every activation uses reduced timings).
 """
 
+from repro.core.registry import (
+    MechanismContext,
+    MechanismSpec,
+    canonical_spec,
+    mechanism_names,
+    parse_mechanism_spec,
+    register_mechanism,
+)
+from repro.core.registry import build as build_mechanism_spec
 from repro.core.timing_policy import (
     LatencyMechanism,
     DefaultTiming,
@@ -23,6 +32,13 @@ from repro.core.nuat import NUAT
 from repro.core.lldram import LowLatencyDRAM
 
 __all__ = [
+    "MechanismContext",
+    "MechanismSpec",
+    "build_mechanism_spec",
+    "canonical_spec",
+    "mechanism_names",
+    "parse_mechanism_spec",
+    "register_mechanism",
     "LatencyMechanism",
     "DefaultTiming",
     "CombinedMechanism",

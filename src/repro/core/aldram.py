@@ -23,6 +23,7 @@ cycles with the same spec margins as the DDR3 baseline.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.circuit.spice import (
@@ -34,8 +35,28 @@ from repro.circuit.temperature import (
     WORST_CASE_TEMPERATURE_C,
     cell_model_at,
 )
+from repro.core.registry import MechanismContext, register_mechanism
 from repro.core.timing_policy import LatencyMechanism
 from repro.dram.timing import ReducedTimings, TimingParameters
+
+
+@dataclass(frozen=True)
+class ALDRAMParams:
+    """AL-DRAM's registry parameter block.
+
+    The operating temperature historically lives on
+    :attr:`repro.config.SimulationConfig.temperature_c`; this dataclass
+    gives it a per-mechanism home so spec strings can override it
+    inline (``aldram(temperature=55)``).
+    """
+
+    temperature_c: float = WORST_CASE_TEMPERATURE_C
+
+    def validate(self) -> None:
+        if not -40.0 <= self.temperature_c <= 125.0:
+            raise ValueError(
+                f"temperature_c={self.temperature_c} outside the "
+                f"modelled -40..125 C range")
 
 
 def aldram_timings_at(temperature_c: float,
@@ -75,3 +96,19 @@ class ALDRAM(LatencyMechanism):
             return None
         self.hits += 1
         return self.timings
+
+
+@register_mechanism(
+    "aldram", params=ALDRAMParams, order=40,
+    aliases={"temperature": "temperature_c"},
+    description="temperature-adaptive device-wide timings "
+                "(Lee et al., HPCA 2015)")
+def _build_aldram(ctx: MechanismContext, overrides) -> ALDRAM:
+    if "temperature_c" in overrides:
+        temperature = overrides["temperature_c"]
+    elif ctx.config is not None:
+        temperature = ctx.config.temperature_c
+    else:
+        temperature = ALDRAMParams().temperature_c
+    ALDRAMParams(temperature_c=temperature).validate()
+    return ALDRAM(ctx.timing, temperature)

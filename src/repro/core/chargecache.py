@@ -20,11 +20,13 @@ footnote 2 - left as future work there, implemented here).
 
 from __future__ import annotations
 
-from typing import List, Optional
+import dataclasses
+from typing import Dict, List, Optional
 
 from repro.config import ChargeCacheConfig
 from repro.core.hcrac import HCRAC, UnboundedHCRAC
 from repro.core.invalidation import PeriodicInvalidator
+from repro.core.registry import MechanismContext, register_mechanism
 from repro.core.timing_policy import LatencyMechanism
 from repro.dram.timing import ReducedTimings, TimingParameters
 
@@ -147,3 +149,46 @@ class ChargeCache(LatencyMechanism):
             table.insertions = 0
             table.evictions = 0
             table.invalidations = 0
+
+
+# ----------------------------------------------------------------------
+# Registry binding
+# ----------------------------------------------------------------------
+
+def resolve_chargecache_params(base: ChargeCacheConfig,
+                               overrides: Dict[str, object],
+                               timing: TimingParameters
+                               ) -> ChargeCacheConfig:
+    """Merge inline spec parameters over a config block.
+
+    An inline ``caching_duration_ms`` without explicit reduction
+    overrides re-derives the tRCD/tRAS reductions for the new duration
+    (Table 2 derating) in ``timing``'s bus cycles - the same
+    physical-nanoseconds conversion the harness applies for scenario
+    timing grades, so a spec string and the equivalent hand-built
+    config produce identical mechanisms.
+    """
+    if "caching_duration_ms" in overrides and not (
+            {"trcd_reduction_cycles", "tras_reduction_cycles"}
+            & set(overrides)):
+        from repro.dram.standards import derated_reduction_cycles
+        trcd_red, tras_red = derated_reduction_cycles(
+            timing, overrides["caching_duration_ms"])
+        overrides = dict(overrides, trcd_reduction_cycles=trcd_red,
+                         tras_reduction_cycles=tras_red)
+    params = dataclasses.replace(base, **overrides)
+    params.validate()
+    return params
+
+
+@register_mechanism(
+    "chargecache", params=ChargeCacheConfig, order=10,
+    aliases={"duration_ms": "caching_duration_ms"},
+    description="reduced ACT timings for recently-precharged rows "
+                "(the paper's mechanism)")
+def _build_chargecache(ctx: MechanismContext,
+                       overrides: Dict[str, object]) -> ChargeCache:
+    base = ctx.config.chargecache if ctx.config is not None \
+        else ChargeCacheConfig()
+    params = resolve_chargecache_params(base, overrides, ctx.timing)
+    return ChargeCache(ctx.timing, params, ctx.num_cores)

@@ -8,9 +8,12 @@ with specialised low-latency parts (RLDRAM / FCRAM [29, 56, 80]).
 
 from __future__ import annotations
 
+import dataclasses
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.config import ChargeCacheConfig
+from repro.core.registry import register_mechanism
 from repro.core.timing_policy import LatencyMechanism
 from repro.dram.timing import ReducedTimings, TimingParameters
 
@@ -32,3 +35,42 @@ class LowLatencyDRAM(LatencyMechanism):
         self.lookups += 1
         self.hits += 1
         return self.hit_timings
+
+
+#: Defaults mirrored from ChargeCacheConfig so a value that is an
+#: identity there is one here too (canonical-form dropping must agree).
+_CC_DEFAULTS = ChargeCacheConfig()
+
+
+@dataclass(frozen=True)
+class LLDRAMParams:
+    """LL-DRAM's registry parameter block.
+
+    Only the timing-relevant subset of :class:`ChargeCacheConfig`:
+    LL-DRAM hits on every ACT, so capacity/sharing/unbounded knobs
+    would be dead parameters — accepting them inline would let a
+    ``lldram(entries=...)`` "sweep" silently produce identical runs
+    under distinct cache keys.  They are rejected at parse time like
+    any other unknown parameter.
+    """
+
+    caching_duration_ms: float = _CC_DEFAULTS.caching_duration_ms
+    trcd_reduction_cycles: int = _CC_DEFAULTS.trcd_reduction_cycles
+    tras_reduction_cycles: int = _CC_DEFAULTS.tras_reduction_cycles
+
+    def validate(self) -> None:
+        dataclasses.replace(_CC_DEFAULTS, **dataclasses.asdict(self)) \
+            .validate()
+
+
+@register_mechanism(
+    "lldram", params=LLDRAMParams, order=30,
+    aliases={"duration_ms": "caching_duration_ms"},
+    description="idealised low-latency DRAM: every ACT at "
+                "ChargeCache's hit timings")
+def _build_lldram(ctx, overrides) -> LowLatencyDRAM:
+    from repro.core.chargecache import resolve_chargecache_params
+    base = ctx.config.chargecache if ctx.config is not None \
+        else ChargeCacheConfig()
+    params = resolve_chargecache_params(base, overrides, ctx.timing)
+    return LowLatencyDRAM(ctx.timing, params)

@@ -19,6 +19,7 @@ from typing import List, Optional, Tuple
 
 from repro.config import NUATConfig
 from repro.circuit.latency_tables import nuat_bin_reductions
+from repro.core.registry import MechanismContext, register_mechanism
 from repro.core.timing_policy import LatencyMechanism
 from repro.dram.refresh import RefreshScheduler
 from repro.dram.timing import ReducedTimings, TimingParameters
@@ -76,3 +77,19 @@ class NUAT(LatencyMechanism):
     def bin_timings(self) -> List[Tuple[int, Optional[ReducedTimings]]]:
         """The (age_edge_cycles, timings) table, for inspection/tests."""
         return list(self._bins)
+
+
+@register_mechanism(
+    "nuat", params=NUATConfig, order=20,
+    description="refresh-age-binned activation timings "
+                "(Shin et al., HPCA 2014)")
+def _build_nuat(ctx: MechanismContext, overrides) -> NUAT:
+    if ctx.refresh_scheduler is None:
+        raise ValueError(
+            "nuat needs the channel's refresh scheduler; supply it via "
+            "MechanismContext(refresh_scheduler=...)")
+    base = ctx.config.nuat if ctx.config is not None else NUATConfig()
+    import dataclasses
+    params = dataclasses.replace(base, **overrides)
+    params.validate()
+    return NUAT(ctx.timing, params, ctx.refresh_scheduler)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.registry import register_mechanism
 from repro.dram.timing import NEVER, ReducedTimings, TimingParameters
 
 
@@ -79,54 +80,78 @@ class DefaultTiming(LatencyMechanism):
 
 
 class CombinedMechanism(LatencyMechanism):
-    """Composition of two mechanisms (paper's ChargeCache + NUAT).
+    """N-way composition of mechanisms (paper's ChargeCache + NUAT).
 
-    Every ACT consults both; if either hits, the lower of the offered
-    constraints is used for each timing parameter independently, which
-    is legal because both mechanisms guarantee at least that much charge
-    is present.
+    Every ACT consults every part; if any hits, the lowest of the
+    offered constraints is used for each timing parameter
+    independently, which is legal because each hitting mechanism
+    guarantees at least that much charge is present.  With exactly two
+    parts this is bit-identical to the historical two-way composition.
     """
 
-    def __init__(self, timing: TimingParameters, first: LatencyMechanism,
-                 second: LatencyMechanism):
+    def __init__(self, timing: TimingParameters,
+                 *mechanisms: LatencyMechanism):
         super().__init__(timing)
-        self.first = first
-        self.second = second
-        self.name = f"{first.name}+{second.name}"
+        if len(mechanisms) < 2:
+            raise ValueError("CombinedMechanism needs >= 2 mechanisms")
+        self.mechanisms = tuple(mechanisms)
+        self.name = "+".join(m.name for m in mechanisms)
+
+    @property
+    def first(self) -> LatencyMechanism:
+        """Historical two-way accessor (the canonical-order head)."""
+        return self.mechanisms[0]
+
+    @property
+    def second(self) -> LatencyMechanism:
+        """Historical two-way accessor."""
+        return self.mechanisms[1]
 
     def on_activate(self, rank, bank, row, core_id, cycle):
         self.lookups += 1
-        a = self.first.on_activate(rank, bank, row, core_id, cycle)
-        b = self.second.on_activate(rank, bank, row, core_id, cycle)
-        if a is None and b is None:
+        offer = None
+        for mechanism in self.mechanisms:
+            timings = mechanism.on_activate(rank, bank, row, core_id, cycle)
+            if timings is not None:
+                offer = timings if offer is None else offer.min_with(timings)
+        if offer is None:
             return None
         self.hits += 1
-        if a is None:
-            return b
-        if b is None:
-            return a
-        return a.min_with(b)
+        return offer
 
     def on_precharge(self, rank, bank, row, core_id, cycle):
-        self.first.on_precharge(rank, bank, row, core_id, cycle)
-        self.second.on_precharge(rank, bank, row, core_id, cycle)
+        for mechanism in self.mechanisms:
+            mechanism.on_precharge(rank, bank, row, core_id, cycle)
 
     def maintain(self, cycle):
-        self.first.maintain(cycle)
-        self.second.maintain(cycle)
+        for mechanism in self.mechanisms:
+            mechanism.maintain(cycle)
 
     def next_wake(self, cycle):
-        return min(self.first.next_wake(cycle), self.second.next_wake(cycle))
+        return min(mechanism.next_wake(cycle)
+                   for mechanism in self.mechanisms)
 
     def reset_stats(self):
         super().reset_stats()
-        self.first.reset_stats()
-        self.second.reset_stats()
+        for mechanism in self.mechanisms:
+            mechanism.reset_stats()
+
+
+@register_mechanism("none", order=0,
+                    description="unmodified baseline controller")
+def _build_none(ctx, overrides):
+    del overrides
+    return DefaultTiming(ctx.timing)
 
 
 def build_mechanism(config, timing: TimingParameters, num_cores: int,
                     refresh_scheduler) -> LatencyMechanism:
-    """Factory: build the latency mechanism named by ``config.mechanism``.
+    """Deprecated factory shim; delegates to :mod:`repro.core.registry`.
+
+    Kept so pre-registry callers (and the plain names in
+    ``repro.config.MECHANISMS``) keep working bit-identically.  New
+    code should call :func:`repro.core.registry.build` with a
+    :class:`~repro.core.registry.MechanismContext`.
 
     Args:
         config: a :class:`repro.config.SimulationConfig`.
@@ -134,30 +159,7 @@ def build_mechanism(config, timing: TimingParameters, num_cores: int,
         num_cores: number of cores (for per-core HCRAC replication).
         refresh_scheduler: the channel's refresh scheduler (NUAT input).
     """
-    from repro.core.aldram import ALDRAM
-    from repro.core.chargecache import ChargeCache
-    from repro.core.nuat import NUAT
-    from repro.core.lldram import LowLatencyDRAM
-
-    name = config.mechanism
-    if name == "none":
-        return DefaultTiming(timing)
-    if name == "chargecache":
-        return ChargeCache(timing, config.chargecache, num_cores)
-    if name == "nuat":
-        return NUAT(timing, config.nuat, refresh_scheduler)
-    if name == "chargecache+nuat":
-        return CombinedMechanism(
-            timing,
-            ChargeCache(timing, config.chargecache, num_cores),
-            NUAT(timing, config.nuat, refresh_scheduler))
-    if name == "lldram":
-        return LowLatencyDRAM(timing, config.chargecache)
-    if name == "aldram":
-        return ALDRAM(timing, config.temperature_c)
-    if name == "chargecache+aldram":
-        return CombinedMechanism(
-            timing,
-            ChargeCache(timing, config.chargecache, num_cores),
-            ALDRAM(timing, config.temperature_c))
-    raise ValueError(f"unknown mechanism {name!r}")
+    from repro.core import registry
+    return registry.build(config.mechanism, registry.MechanismContext(
+        timing=timing, num_cores=num_cores,
+        refresh_scheduler=refresh_scheduler, config=config))

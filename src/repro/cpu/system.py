@@ -34,7 +34,7 @@ from typing import Dict, Iterator, List, Optional, Sequence
 from repro.config import SimulationConfig
 from repro.controller.address_mapping import AddressMapper
 from repro.controller.controller import MemoryController
-from repro.core.timing_policy import build_mechanism
+from repro.core import registry
 from repro.cpu.cache import SharedCache
 from repro.cpu.core import Core
 from repro.cpu.trace import TraceRecord
@@ -164,8 +164,16 @@ class System:
         for ch in range(self.organization.channels):
             refresh = RefreshScheduler(self.timing, self.organization.ranks,
                                        self.organization.rows)
-            mechanism = build_mechanism(config, self.timing,
-                                        config.processor.num_cores, refresh)
+            # Channels build their latency mechanism through the
+            # registry: config.mechanism is a spec string (possibly a
+            # +-composition with inline parameter overrides), resolved
+            # against this config's per-mechanism parameter blocks.
+            mechanism = registry.build(
+                config.mechanism,
+                registry.MechanismContext(
+                    timing=self.timing,
+                    num_cores=config.processor.num_cores,
+                    refresh_scheduler=refresh, config=config))
             controller = MemoryController(
                 ch, self.timing, self.organization.ranks,
                 self.organization.banks, self.organization.rows,

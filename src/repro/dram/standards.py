@@ -116,6 +116,28 @@ def reduction_cycles_for(timing: TimingParameters,
     return max(0, trcd_red), max(0, tras_red)
 
 
+def derated_reduction_cycles(timing: TimingParameters,
+                             duration_ms: float):
+    """Table 2 derating for a caching duration, in ``timing``'s cycles.
+
+    The single source of truth for turning a caching duration into
+    (tRCD, tRAS) reduction cycle counts: look the duration up in the
+    paper's Table 2 derating (expressed in DDR3-1600 cycles), convert
+    to physical nanoseconds, then re-express in ``timing``'s bus
+    clock.  For DDR3-1600 this round-trips exactly.  ChargeCache's
+    registry factory, the scenario builder, and the harness's
+    ``cc_duration_ms`` path all call this, so a spec string, a
+    scenario, and a hand-built config can never disagree about the
+    reductions a duration implies.
+    """
+    from repro.circuit.latency_tables import reductions_for_duration_ms
+    trcd_d3, tras_d3 = reductions_for_duration_ms(duration_ms)
+    return reduction_cycles_for(
+        timing,
+        trcd_reduction_ns=trcd_d3 * DDR3_1600.tCK_ns,
+        tras_reduction_ns=tras_d3 * DDR3_1600.tCK_ns)
+
+
 def chargecache_reductions_for(timing: TimingParameters,
                                trcd_reduction_ns: float = 5.0,
                                tras_reduction_ns: float = 10.0):

@@ -12,8 +12,16 @@ versioned JSON under a cache directory keyed by
 where the code fingerprint hashes every ``repro`` source file, so any
 change to the simulator — not just to the spec — invalidates every
 entry automatically.  Stale entries are never deleted eagerly; they are
-simply unreachable under the new fingerprint (``RunCache.clear`` or
-cache-dir garbage collection reclaims them).
+simply unreachable under the new fingerprint.  :meth:`RunCache.gc`
+(CLI: ``chargecache-harness cache gc [--dry-run]``) reclaims them by
+pruning every envelope whose recorded fingerprint no longer matches
+the current sources; ``RunCache.clear`` wipes the directory outright.
+
+The spec payload hashed into the key is canonical
+(:meth:`~repro.harness.spec.RunSpec.key_payload` normalizes the
+mechanism through :mod:`repro.core.registry`), so order-permuted
+compositions — ``"nuat+chargecache"`` vs ``"chargecache+nuat"`` — and
+parameterized spellings of one run share a single entry.
 
 Layout (DESIGN.md section 4)::
 
@@ -40,6 +48,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from typing import Dict, List, Optional
 
 from repro.config import (
@@ -63,6 +72,12 @@ SCHEMA_VERSION = 1
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Minimum age (seconds) before :meth:`RunCache.gc` treats a ``.tmp``
+#: file as a crashed writer's orphan rather than an in-flight
+#: :meth:`RunCache.put` in another process.  Envelope writes take
+#: milliseconds, so an hour is conservatively safe.
+TMP_SWEEP_AGE_S = 3600.0
 
 
 def default_cache_dir() -> str:
@@ -272,6 +287,21 @@ def result_from_json(data: Dict) -> RunResult:
 # The on-disk store
 # ----------------------------------------------------------------------
 
+@dataclasses.dataclass(frozen=True)
+class GCReport:
+    """Outcome of one :meth:`RunCache.gc` pass.
+
+    ``stale`` lists ``(key_or_filename, reason)`` pairs for everything
+    prunable — envelopes (fingerprint mismatch, schema mismatch,
+    corrupt/unreadable file) and aged-out stray ``.tmp`` writer files;
+    ``removed`` counts deletions actually performed (0 on a dry run);
+    ``kept`` counts entries reachable under the current fingerprint.
+    """
+
+    stale: List[tuple]
+    kept: int
+    removed: int
+
 class RunCache:
     """One cache directory of RunResult envelopes.
 
@@ -335,6 +365,77 @@ class RunCache:
 
     def contains(self, key: str) -> bool:
         return os.path.exists(self.path_for(key))
+
+    def gc(self, fingerprint: Optional[str] = None,
+           dry_run: bool = False) -> GCReport:
+        """Prune entries unreachable under the current code fingerprint.
+
+        Content-addressed entries can never be *wrong*, only
+        unreachable: a key embeds the fingerprint, so after any source
+        change the old files just sit on disk forever.  ``gc`` reads
+        each envelope and removes those whose recorded fingerprint (or
+        schema) no longer matches — corrupt and unreadable files count
+        as stale too.  "Stale" is relative to *this checkout's*
+        sources: if the cache directory is shared across branches or
+        worktrees, another checkout's perfectly reachable entries look
+        stale from here — use ``dry_run`` first in that setup (the
+        entries are only a recompute away, never wrong, so the cost
+        of an over-eager gc is time, not correctness).  Stray ``.tmp`` files from crashed writers are
+        swept once they are older than :data:`TMP_SWEEP_AGE_S` (young
+        temps may belong to an in-flight :meth:`put` in another
+        process and are left alone).  ``dry_run=True`` reports
+        everything that would be removed — envelopes and temps —
+        without deleting anything.
+        """
+        fingerprint = fingerprint or code_fingerprint()
+        stale, kept, removed = [], 0, 0
+        for key in self.keys():
+            path = self.path_for(key)
+            reason = None
+            try:
+                with open(path, "r", encoding="ascii") as fh:
+                    envelope = json.load(fh)
+                if not isinstance(envelope, dict):
+                    reason = "corrupt envelope"
+                elif envelope.get("schema") != SCHEMA_VERSION:
+                    reason = (f"schema {envelope.get('schema')!r} != "
+                              f"{SCHEMA_VERSION}")
+                elif envelope.get("fingerprint") != fingerprint:
+                    reason = "code fingerprint mismatch"
+            except (OSError, ValueError):
+                reason = "unreadable"
+            if reason is None:
+                kept += 1
+                continue
+            stale.append((key, reason))
+            if not dry_run:
+                try:
+                    os.unlink(path)
+                    removed += 1
+                except OSError:
+                    pass
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            names = []
+        cutoff = time.time() - TMP_SWEEP_AGE_S
+        for name in sorted(names):
+            if not name.endswith(".tmp"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                if os.stat(path).st_mtime > cutoff:
+                    continue   # possibly an in-flight writer's temp
+            except OSError:
+                continue
+            stale.append((name, "stray writer temp"))
+            if not dry_run:
+                try:
+                    os.unlink(path)
+                    removed += 1
+                except OSError:
+                    pass
+        return GCReport(stale=stale, kept=kept, removed=removed)
 
     def keys(self) -> List[str]:
         try:

@@ -10,6 +10,15 @@ Examples::
     chargecache-harness scaling --jobs 4    # core-count x ranks matrix
     chargecache-harness standards --jobs 4  # DDR4/LPDDR3/GDDR5 grades
 
+    # Parameterized mechanism specs (repro.core.registry grammar):
+    chargecache-harness fig7a --mechanisms "chargecache(entries=256)+nuat"
+    chargecache-harness fig7b --mechanisms chargecache "nuat+chargecache"
+
+    # Run-cache maintenance: prune entries whose code fingerprint no
+    # longer matches the current sources.
+    chargecache-harness cache gc --dry-run
+    chargecache-harness cache gc --cache-dir /tmp/cc
+
 The ``all`` command first collects every experiment's declared sweep,
 dedupes it, and executes the union through one shared process pool
 (DESIGN.md section 5), so each distinct run is simulated at most once
@@ -38,25 +47,34 @@ from repro.harness.runner import (
     set_default_engine,
 )
 
-#: Experiment name -> callable(workloads, scale) -> result dict.
+#: Experiment name -> callable(workloads, scale, mechanisms) -> result
+#: dict.  ``mechanisms`` (the CLI's ``--mechanisms``, a list of
+#: registry spec strings) parameterizes the mechanism-comparison
+#: figures; the other experiments fix their own mechanisms and ignore
+#: it.
 _EXPERIMENTS = {
-    "fig3a": lambda w, s: experiments.run_fig3("single", w, s),
-    "fig3b": lambda w, s: experiments.run_fig3("eight", w, s),
-    "fig4a": lambda w, s: experiments.run_fig4("single", w, scale=s),
-    "fig4b": lambda w, s: experiments.run_fig4("eight", w, scale=s),
-    "fig6": lambda w, s: experiments.run_fig6(),
-    "table2": lambda w, s: experiments.run_table2(),
-    "fig7a": lambda w, s: experiments.run_fig7("single", w, scale=s),
-    "fig7b": lambda w, s: experiments.run_fig7("eight", w, scale=s),
-    "fig8": lambda w, s: experiments.run_fig8(workloads=w, scale=s),
-    "fig9": lambda w, s: experiments.run_fig9(workloads=w, scale=s),
-    "fig10": lambda w, s: experiments.run_fig10(workloads=w, scale=s),
-    "fig11": lambda w, s: experiments.run_fig11(workloads=w, scale=s),
-    "sec63": lambda w, s: experiments.run_sec63(scale=s),
-    "table1": lambda w, s: experiments.run_table1(),
-    "scaling": lambda w, s: experiments.run_scaling(w, s),
-    "standards": lambda w, s: experiments.run_standards(w, s),
+    "fig3a": lambda w, s, m=None: experiments.run_fig3("single", w, s),
+    "fig3b": lambda w, s, m=None: experiments.run_fig3("eight", w, s),
+    "fig4a": lambda w, s, m=None: experiments.run_fig4("single", w, scale=s),
+    "fig4b": lambda w, s, m=None: experiments.run_fig4("eight", w, scale=s),
+    "fig6": lambda w, s, m=None: experiments.run_fig6(),
+    "table2": lambda w, s, m=None: experiments.run_table2(),
+    "fig7a": lambda w, s, m=None: experiments.run_fig7("single", w,
+                                                  mechanisms=m, scale=s),
+    "fig7b": lambda w, s, m=None: experiments.run_fig7("eight", w,
+                                                  mechanisms=m, scale=s),
+    "fig8": lambda w, s, m=None: experiments.run_fig8(workloads=w, scale=s),
+    "fig9": lambda w, s, m=None: experiments.run_fig9(workloads=w, scale=s),
+    "fig10": lambda w, s, m=None: experiments.run_fig10(workloads=w, scale=s),
+    "fig11": lambda w, s, m=None: experiments.run_fig11(workloads=w, scale=s),
+    "sec63": lambda w, s, m=None: experiments.run_sec63(scale=s),
+    "table1": lambda w, s, m=None: experiments.run_table1(),
+    "scaling": lambda w, s, m=None: experiments.run_scaling(w, s),
+    "standards": lambda w, s, m=None: experiments.run_standards(w, s),
 }
+
+#: Experiments that honour ``--mechanisms``.
+_MECHANISM_AWARE = experiments.MECHANISM_AWARE
 
 
 def _jobs_arg(text: str) -> int:
@@ -73,12 +91,23 @@ def _jobs_arg(text: str) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="chargecache-harness",
-        description="Regenerate the ChargeCache paper's tables/figures.")
+        description="Regenerate the ChargeCache paper's tables/figures.",
+        epilog="maintenance: 'chargecache-harness cache gc [--dry-run] "
+               "[--cache-dir DIR]' prunes run-cache entries stranded "
+               "by source changes ('cache --help' for details)")
     parser.add_argument("experiment",
                         choices=sorted(_EXPERIMENTS) + ["all"],
                         help="which artifact to regenerate")
     parser.add_argument("--workloads", nargs="*", default=None,
                         help="restrict to these workloads/mixes")
+    parser.add_argument("--mechanisms", nargs="+", default=None,
+                        metavar="SPEC",
+                        help="mechanism specs to compare (fig7a/fig7b): "
+                             "any +-composition of registered mechanisms "
+                             "with inline parameters, e.g. "
+                             "'chargecache(entries=256)+nuat'; validated "
+                             "eagerly and normalized so order-permuted "
+                             "spellings share cache entries")
     parser.add_argument("--scale", type=float, default=None,
                         help="instruction-budget multiplier")
     parser.add_argument("--engine", choices=list(ENGINES),
@@ -118,8 +147,67 @@ def _cache_summary(result: Dict) -> Optional[str]:
     return f"{result.get('id', 'experiment')} {note}" if note else None
 
 
+def build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chargecache-harness cache",
+        description="Run-cache maintenance commands.")
+    sub = parser.add_subparsers(dest="action")
+    gc = sub.add_parser(
+        "gc",
+        help="prune entries whose code fingerprint no longer matches "
+             "the current sources (they are unreachable: every key "
+             "embeds the fingerprint); staleness is judged against "
+             "THIS checkout — with a cache dir shared across branches "
+             "or worktrees, other checkouts' entries look stale from "
+             "here, so --dry-run first")
+    gc.add_argument("--cache-dir", metavar="DIR", default=None,
+                    help="cache directory (default: $REPRO_CACHE_DIR "
+                         "or ~/.cache/chargecache-repro)")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="list stale entries without deleting anything")
+    return parser
+
+
+def _cache_main(argv: List[str]) -> int:
+    args = build_cache_parser().parse_args(argv)
+    if args.action != "gc":
+        build_cache_parser().print_help()
+        return 2
+    from repro.harness.cache import RunCache
+    cache = RunCache(args.cache_dir)
+    report = cache.gc(dry_run=args.dry_run)
+    for key, reason in report.stale:
+        print(f"stale {key}  ({reason})")
+    if args.dry_run:
+        print(f"cache gc: would remove {len(report.stale)} stale, "
+              f"kept {report.kept} current "
+              f"(dir {cache.root})")
+    else:
+        failed = len(report.stale) - report.removed
+        note = f" ({failed} could not be deleted)" if failed else ""
+        print(f"cache gc: removed {report.removed} stale{note}, "
+              f"kept {report.kept} current "
+              f"(dir {cache.root})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.mechanisms:
+        from repro.core.registry import parse_mechanism_spec
+        for spec in args.mechanisms:
+            try:
+                parse_mechanism_spec(spec)
+            except ValueError as exc:
+                parser.error(f"--mechanisms: {exc}")  # usage + exit 2
+        if args.experiment not in _MECHANISM_AWARE + ("all",):
+            print(f"warning: --mechanisms is ignored by "
+                  f"{args.experiment} (honoured by: "
+                  f"{', '.join(_MECHANISM_AWARE)})", file=sys.stderr)
     scale = current_scale()
     if args.scale:
         scale = scale.scaled(args.scale)
@@ -141,14 +229,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         # per-experiment prefetches below then hit the memo and fork
         # nothing, so workers never idle between figures.
         shared = experiments.prefetch_experiments(names, args.workloads,
-                                                  scale)
+                                                  scale, args.mechanisms)
         from repro.harness.report import render_cache_annotation
         note = render_cache_annotation(shared.annotation())
         if note:
             print(f"all (shared pool) {note}", file=sys.stderr)
     results: Dict[str, Dict] = {}
     for name in names:
-        result = _EXPERIMENTS[name](args.workloads, scale)
+        result = _EXPERIMENTS[name](args.workloads, scale,
+                                    args.mechanisms)
         results[name] = result
         print(render_experiment(result))
         print()

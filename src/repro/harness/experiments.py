@@ -108,6 +108,28 @@ def _mean(values: Iterable[float]) -> float:
     return sum(values) / len(values) if values else 0.0
 
 
+def _cc(entries: Optional[int] = None,
+        duration_ms: Optional[float] = None,
+        unbounded: bool = False) -> str:
+    """A parameterized ChargeCache mechanism spec string.
+
+    The capacity/duration sweeps are spec-string generation, not
+    config surgery: ``_cc(entries=256)`` -> ``"chargecache(entries=256)"``.
+    Normalization folds these inline parameters back into the
+    RunSpec's canonical shorthand fields, so the generated specs land
+    on exactly the keys the pre-registry ``cc_entries``/
+    ``cc_duration_ms`` keyword sweeps used.
+    """
+    params = []
+    if entries is not None:
+        params.append(f"entries={entries}")
+    if duration_ms is not None:
+        params.append(f"duration_ms={duration_ms!r}")
+    if unbounded:
+        params.append("unbounded=true")
+    return f"chargecache({','.join(params)})" if params else "chargecache"
+
+
 # ----------------------------------------------------------------------
 # Figure 3: 8ms-RLTL vs accessed-within-8ms-of-refresh
 # ----------------------------------------------------------------------
@@ -255,8 +277,9 @@ def run_table2() -> Dict:
 
 def _fig7_specs(mode: str, workloads: Optional[Sequence[str]],
                 scale: Scale,
-                mechanisms: Sequence[str] = FIG7_MECHANISMS
+                mechanisms: Optional[Sequence[str]] = None
                 ) -> List[RunSpec]:
+    mechanisms = FIG7_MECHANISMS if mechanisms is None else mechanisms
     names = _names_for(mode, workloads)
     specs = [_spec(mode, name, mech, scale)
              for name in names for mech in ("none",) + tuple(mechanisms)]
@@ -265,9 +288,15 @@ def _fig7_specs(mode: str, workloads: Optional[Sequence[str]],
 
 def run_fig7(mode: str = "single",
              workloads: Optional[Sequence[str]] = None,
-             mechanisms: Sequence[str] = FIG7_MECHANISMS,
+             mechanisms: Optional[Sequence[str]] = None,
              scale: Optional[Scale] = None) -> Dict:
-    """Speedup of each mechanism over baseline, plus RMPKC."""
+    """Speedup of each mechanism over baseline, plus RMPKC.
+
+    ``mechanisms`` accepts any registry spec strings (plain names,
+    compositions, inline parameters); ``None`` means the paper's
+    Figure 7 set.
+    """
+    mechanisms = FIG7_MECHANISMS if mechanisms is None else tuple(mechanisms)
     scale = scale or current_scale()
     names = _names_for(mode, workloads)
     sweep = _prefetch(_fig7_specs(mode, workloads, scale, mechanisms))
@@ -365,10 +394,9 @@ def _fig9_specs(modes: Sequence[str], workloads: Optional[Sequence[str]],
     specs = []
     for mode in modes:
         for name in _names_for(mode, workloads):
-            specs += [_spec(mode, name, "chargecache", scale,
-                            cc_entries=cap) for cap in capacities]
-            specs.append(_spec(mode, name, "chargecache", scale,
-                               cc_unbounded=True))
+            specs += [_spec(mode, name, _cc(entries=cap), scale)
+                      for cap in capacities]
+            specs.append(_spec(mode, name, _cc(unbounded=True), scale))
     return specs
 
 
@@ -383,13 +411,13 @@ def run_fig9(modes: Sequence[str] = ("single", "eight"),
     for mode in modes:
         names = _names_for(mode, workloads)
         for cap in capacities:
-            hits = [_run_for(mode, n, "chargecache", scale,
-                             cc_entries=cap).mechanism_hit_rate
+            hits = [_run_for(mode, n, _cc(entries=cap),
+                             scale).mechanism_hit_rate
                     for n in names]
             rows.append({"mode": mode, "entries": cap,
                          "hit_rate": _mean(hits)})
-        unlimited = [_run_for(mode, n, "chargecache", scale,
-                              cc_unbounded=True).mechanism_hit_rate
+        unlimited = [_run_for(mode, n, _cc(unbounded=True),
+                              scale).mechanism_hit_rate
                      for n in names]
         rows.append({"mode": mode, "entries": "unlimited",
                      "hit_rate": _mean(unlimited)})
@@ -406,8 +434,8 @@ def _fig10_specs(modes: Sequence[str], workloads: Optional[Sequence[str]],
         names = _names_for(mode, workloads)
         for name in names:
             specs.append(_spec(mode, name, "none", scale))
-            specs += [_spec(mode, name, "chargecache", scale,
-                            cc_entries=cap) for cap in capacities]
+            specs += [_spec(mode, name, _cc(entries=cap), scale)
+                      for cap in capacities]
         specs += _ws_specs(mode, names, scale)
     return specs
 
@@ -426,8 +454,7 @@ def run_fig10(modes: Sequence[str] = ("single", "eight"),
             speedups = []
             for name in names:
                 base = _performance(mode, name, "none", scale)
-                perf = _performance(mode, name, "chargecache", scale,
-                                    cc_entries=cap)
+                perf = _performance(mode, name, _cc(entries=cap), scale)
                 if base:
                     speedups.append(perf / base - 1.0)
             rows.append({"mode": mode, "entries": cap,
@@ -449,8 +476,7 @@ def _fig11_specs(modes: Sequence[str], workloads: Optional[Sequence[str]],
         names = _names_for(mode, workloads)
         for name in names:
             specs.append(_spec(mode, name, "none", scale))
-            specs += [_spec(mode, name, "chargecache", scale,
-                            cc_duration_ms=duration)
+            specs += [_spec(mode, name, _cc(duration_ms=duration), scale)
                       for duration in durations_ms]
         specs += _ws_specs(mode, names, scale)
     return specs
@@ -475,10 +501,9 @@ def run_fig11(modes: Sequence[str] = ("single", "eight"),
             speedups, hits = [], []
             for name in names:
                 base = _performance(mode, name, "none", scale)
-                perf = _performance(mode, name, "chargecache", scale,
-                                    cc_duration_ms=duration)
-                result = _run_for(mode, name, "chargecache", scale,
-                                  cc_duration_ms=duration)
+                mech = _cc(duration_ms=duration)
+                perf = _performance(mode, name, mech, scale)
+                result = _run_for(mode, name, mech, scale)
                 if base:
                     speedups.append(perf / base - 1.0)
                 hits.append(result.mechanism_hit_rate)
@@ -655,8 +680,8 @@ SWEEP_DECLARATIONS = {
     "fig3b": lambda w, s: _fig3_specs("eight", w, s),
     "fig4a": lambda w, s: _fig4_specs("single", w, s),
     "fig4b": lambda w, s: _fig4_specs("eight", w, s),
-    "fig7a": lambda w, s: _fig7_specs("single", w, s),
-    "fig7b": lambda w, s: _fig7_specs("eight", w, s),
+    "fig7a": lambda w, s, m=None: _fig7_specs("single", w, s, m),
+    "fig7b": lambda w, s, m=None: _fig7_specs("eight", w, s, m),
     "fig8": lambda w, s: _fig8_specs(("single", "eight"), w, s),
     "fig9": lambda w, s: _fig9_specs(("single", "eight"), w, s),
     "fig10": lambda w, s: _fig10_specs(("single", "eight"), w, s),
@@ -666,23 +691,41 @@ SWEEP_DECLARATIONS = {
     "standards": lambda w, s: _standards_specs(w, s),
 }
 
+#: Experiment ids whose declaration (and ``run_*``) accept a custom
+#: mechanism-spec list.  The CLI's ``--mechanisms`` flag reaches
+#: exactly these, both per-experiment and through the shared pool.
+MECHANISM_AWARE = ("fig7a", "fig7b")
+
 
 def declared_specs(names: Sequence[str],
                    workloads: Optional[Sequence[str]] = None,
-                   scale: Optional[Scale] = None) -> List[RunSpec]:
-    """The deduplicated union of the named experiments' sweeps."""
+                   scale: Optional[Scale] = None,
+                   mechanisms: Optional[Sequence[str]] = None
+                   ) -> List[RunSpec]:
+    """The deduplicated union of the named experiments' sweeps.
+
+    ``mechanisms`` replaces the default mechanism set for the
+    :data:`MECHANISM_AWARE` experiments, so a custom ``--mechanisms``
+    sweep is prefetched by the shared pool instead of the default one.
+    """
     scale = scale or current_scale()
     specs: List[RunSpec] = []
     for name in names:
         declaration = SWEEP_DECLARATIONS.get(name)
-        if declaration is not None:
+        if declaration is None:
+            continue
+        if name in MECHANISM_AWARE:
+            specs += declaration(workloads, scale, mechanisms)
+        else:
             specs += declaration(workloads, scale)
     return dedupe_specs(specs)
 
 
 def prefetch_experiments(names: Sequence[str],
                          workloads: Optional[Sequence[str]] = None,
-                         scale: Optional[Scale] = None) -> pool.Sweep:
+                         scale: Optional[Scale] = None,
+                         mechanisms: Optional[Sequence[str]] = None
+                         ) -> pool.Sweep:
     """Execute every named experiment's sweep through ONE shared pool.
 
     Collects each experiment's declared specs, dedupes them (cache
@@ -694,7 +737,7 @@ def prefetch_experiments(names: Sequence[str],
     The experiments run afterwards find every point in the runner memo
     and fork nothing.
     """
-    return _prefetch(declared_specs(names, workloads, scale))
+    return _prefetch(declared_specs(names, workloads, scale, mechanisms))
 
 
 # ----------------------------------------------------------------------

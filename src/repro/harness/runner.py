@@ -33,7 +33,6 @@ from repro.config import (
     eight_core_config,
     single_core_config,
 )
-from repro.circuit.latency_tables import reductions_for_duration_ms
 from repro.cpu.system import RunResult, System
 from repro.dram.organization import Organization
 from repro.harness import cache as run_cache
@@ -99,11 +98,19 @@ def build_config(mode: str, mechanism: str, scale: Optional[Scale] = None,
     """A paper-faithful configuration for one run.
 
     ``mode`` is "single" (1 core, 1 channel, open-row) or "eight"
-    (8 cores, 2 channels, closed-row).  ChargeCache knobs cover the
-    capacity (Fig. 9/10) and caching-duration (Fig. 11) sweeps; the
+    (8 cores, 2 channels, closed-row).  ``mechanism`` is a registry
+    spec: plain names, ``+``-compositions and inline parameter
+    overrides (``"chargecache(entries=256)+nuat"``) are all accepted
+    and normalized.  The ChargeCache keyword knobs cover the capacity
+    (Fig. 9/10) and caching-duration (Fig. 11) sweeps and are
+    interchangeable with the equivalent inline parameters; the
     duration also selects the matching timing reductions from the
     paper's Table 2 derating.
     """
+    from repro.core import registry
+    mechanism, cc_entries, cc_duration_ms, cc_unbounded = \
+        registry.extract_run_params(mechanism, cc_entries,
+                                    cc_duration_ms, cc_unbounded)
     scale = scale or current_scale()
     if mode == "single":
         cfg = single_core_config(mechanism)
@@ -117,7 +124,11 @@ def build_config(mode: str, mechanism: str, scale: Optional[Scale] = None,
     cc = cfg.chargecache
     duration = cc_duration_ms if cc_duration_ms is not None \
         else cc.caching_duration_ms
-    trcd_red, tras_red = reductions_for_duration_ms(duration)
+    # Shared Table 2 derating (exact for the DDR3 timing these
+    # paper-faithful modes use).
+    from repro.dram.standards import derated_reduction_cycles
+    from repro.dram.timing import DDR3_1600
+    trcd_red, tras_red = derated_reduction_cycles(DDR3_1600, duration)
     cc = ChargeCacheConfig(
         entries=cc_entries if cc_entries is not None else cc.entries,
         associativity=cc.associativity,
@@ -147,11 +158,29 @@ def build_config(mode: str, mechanism: str, scale: Optional[Scale] = None,
 def _build_spec(kind: str, name: str, mechanism: str,
                 scale: Optional[Scale], engine: Optional[str],
                 **kwargs) -> RunSpec:
-    """Normalise scale/engine into a concrete spec (single source of
-    truth, so every entry path produces byte-identical cache keys)."""
+    """Normalise scale/engine/mechanism into a concrete spec (single
+    source of truth, so every entry path produces byte-identical cache
+    keys).
+
+    The mechanism spec is canonicalized through the registry: terms
+    sorted into canonical order, inline chargecache
+    ``entries``/``duration_ms``/``unbounded`` parameters folded into
+    the dedicated RunSpec fields (merging with — and conflict-checked
+    against — the legacy ``cc_*`` keyword arguments), so
+    ``"nuat+chargecache(entries=256)"`` and ``("chargecache+nuat",
+    cc_entries=256)`` are one spec, one memo entry, one cache key.
+    """
+    from repro.core import registry
+    mechanism, cc_entries, cc_duration_ms, cc_unbounded = \
+        registry.extract_run_params(mechanism,
+                                    kwargs.pop("cc_entries", None),
+                                    kwargs.pop("cc_duration_ms", None),
+                                    kwargs.pop("cc_unbounded", False))
     return RunSpec(kind=kind, name=name, mechanism=mechanism,
                    scale=scale or current_scale(),
-                   engine=_resolve_engine(engine), **kwargs)
+                   engine=_resolve_engine(engine),
+                   cc_entries=cc_entries, cc_duration_ms=cc_duration_ms,
+                   cc_unbounded=cc_unbounded, **kwargs)
 
 
 def workload_spec(name: str, mechanism: str = "none",

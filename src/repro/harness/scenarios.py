@@ -46,10 +46,9 @@ from repro.config import (
     ProcessorConfig,
     SimulationConfig,
 )
-from repro.circuit.latency_tables import reductions_for_duration_ms
 from repro.cpu.trace import TraceRecord
-from repro.dram.standards import PRESETS, preset, reduction_cycles_for
-from repro.dram.timing import DDR3_1600, TimingParameters
+from repro.dram.standards import PRESETS, derated_reduction_cycles, preset
+from repro.dram.timing import TimingParameters
 from repro.workloads.mixes import MIX_NAMES, mix_composition
 from repro.workloads.spec_like import PROFILES, make_trace
 
@@ -231,6 +230,10 @@ def scenario_config(name: str, mechanism: str = "none",
     headroom — 4/8 DDR3 cycles is 5/10 ns, which is 6/12 DDR4-2400
     cycles and 10/20 GDDR5-4000 cycles.
     """
+    from repro.core import registry
+    mechanism, cc_entries, cc_duration_ms, cc_unbounded = \
+        registry.extract_run_params(mechanism, cc_entries,
+                                    cc_duration_ms, cc_unbounded)
     scen = scenario(name)
     if scale is None:
         from repro.harness.spec import current_scale
@@ -240,13 +243,9 @@ def scenario_config(name: str, mechanism: str = "none",
                     else scale.multi_core_instructions)
 
     duration = cc_duration_ms if cc_duration_ms is not None else 1.0
-    # DDR3 reduction cycles for this duration -> physical ns -> cycles
-    # in the scenario's clock.
-    trcd_d3, tras_d3 = reductions_for_duration_ms(duration)
-    trcd_red, tras_red = reduction_cycles_for(
-        timing,
-        trcd_reduction_ns=trcd_d3 * DDR3_1600.tCK_ns,
-        tras_reduction_ns=tras_d3 * DDR3_1600.tCK_ns)
+    # Table 2 derating re-expressed in the scenario's clock (shared
+    # with the registry factory and the harness duration path).
+    trcd_red, tras_red = derated_reduction_cycles(timing, duration)
 
     base_cc = ChargeCacheConfig()
     cc = ChargeCacheConfig(

@@ -91,6 +91,17 @@ class RunSpec:
     weighted-speedup denominators).  ``engine`` must be concrete
     ("event"/"dense", never None) so that a spec means the same run in
     every process regardless of ambient defaults.
+
+    ``mechanism`` is a registry spec
+    (:func:`repro.core.registry.parse_mechanism_spec`): any
+    ``+``-composition of registered mechanisms with inline parameter
+    overrides, validated eagerly here.  The sanctioned constructors in
+    :mod:`repro.harness.runner` store it pre-canonicalized (terms
+    sorted, chargecache's ``entries``/``duration_ms``/``unbounded``
+    folded into the dedicated ``cc_*`` fields below); directly-built
+    specs are canonicalized at cache-key time by :meth:`key_payload`,
+    so order-permuted or inline-parameterized spellings of the same
+    run share one persistent cache entry either way.
     """
 
     kind: str
@@ -119,15 +130,25 @@ class RunSpec:
             raise ValueError(
                 "scenario runs (and only scenario runs) must name a "
                 f"scenario: kind={self.kind!r}, scenario={self.scenario!r}")
+        # Eager mechanism validation: a typo, bad parameter, or an
+        # inline/shorthand conflict fails at declaration time, not
+        # inside a pool worker mid-sweep (or at cache-key time).
+        from repro.core.registry import extract_run_params
+        extract_run_params(self.mechanism, self.cc_entries,
+                           self.cc_duration_ms, self.cc_unbounded)
 
     def key_payload(self) -> Dict:
         """JSON-stable dict of every field that defines this run.
 
         This is the *only* sanctioned serialization for cache-key
-        hashing: plain types, field-name keys, scale inlined.  Any new
+        hashing: plain types, field-name keys, scale inlined, and the
+        mechanism normalized to its canonical form (terms in canonical
+        order, chargecache shorthand folded into the ``cc_*`` entries)
+        so every spelling of the same run hashes identically.  Any new
         RunSpec field automatically lands here (and therefore changes
         keys), which is the safe failure mode.
         """
+        from repro.core.registry import extract_run_params
         payload = {}
         for f in fields(self):
             value = getattr(self, f.name)
@@ -135,6 +156,10 @@ class RunSpec:
                 value = {sf.name: getattr(value, sf.name)
                          for sf in fields(Scale)}
             payload[f.name] = value
+        (payload["mechanism"], payload["cc_entries"],
+         payload["cc_duration_ms"], payload["cc_unbounded"]) = \
+            extract_run_params(self.mechanism, self.cc_entries,
+                               self.cc_duration_ms, self.cc_unbounded)
         return payload
 
     def label(self) -> str:

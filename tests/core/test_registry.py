@@ -1,0 +1,446 @@
+"""Tests for the mechanism registry and spec mini-language.
+
+Canonical strings are cache-key material (DESIGN.md section 6), so the
+round-trip and normalization behaviour here is golden: changing it
+silently re-keys the persistent run cache.
+"""
+
+import pytest
+
+from repro.config import (
+    MECHANISMS,
+    ChargeCacheConfig,
+    SimulationConfig,
+    single_core_config,
+)
+from repro.core import registry
+from repro.core.chargecache import ChargeCache
+from repro.core.nuat import NUAT
+from repro.core.lldram import LowLatencyDRAM
+from repro.core.aldram import ALDRAM
+from repro.core.timing_policy import (
+    CombinedMechanism,
+    DefaultTiming,
+    build_mechanism,
+)
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.timing import DDR3_1600
+
+
+@pytest.fixture
+def refresh():
+    return RefreshScheduler(DDR3_1600, 1, 64 * 1024)
+
+
+@pytest.fixture
+def ctx(refresh):
+    return registry.MechanismContext(
+        timing=DDR3_1600, num_cores=1, refresh_scheduler=refresh,
+        config=None)
+
+
+class TestParseNormalize:
+    #: (input, canonical) golden pairs — canonical strings feed cache
+    #: keys, so these are regression-pinned.
+    GOLDEN = [
+        ("none", "none"),
+        ("chargecache", "chargecache"),
+        (" chargecache ", "chargecache"),
+        ("chargecache()", "chargecache"),
+        ("chargecache(entries=128)", "chargecache"),       # default drops
+        ("chargecache(duration_ms=1.0)", "chargecache"),   # default drops
+        ("chargecache(entries=256)", "chargecache(entries=256)"),
+        ("chargecache(duration_ms=0.5)",
+         "chargecache(caching_duration_ms=0.5)"),          # alias resolves
+        ("chargecache(entries=256, duration_ms=0.5)",
+         "chargecache(caching_duration_ms=0.5,entries=256)"),
+        ("chargecache+nuat", "chargecache+nuat"),
+        ("nuat+chargecache", "chargecache+nuat"),          # order sorts
+        ("chargecache+aldram", "chargecache+aldram"),
+        ("aldram+chargecache", "chargecache+aldram"),
+        ("aldram(temperature=55)+nuat+chargecache(entries=64)",
+         "chargecache(entries=64)+nuat+aldram(temperature_c=55.0)"),
+        ("chargecache(unbounded=true)", "chargecache(unbounded=true)"),
+        ("chargecache(sharing=shared)", "chargecache(sharing=shared)"),
+    ]
+
+    @pytest.mark.parametrize("text,canonical", GOLDEN)
+    def test_canonical_golden(self, text, canonical):
+        assert registry.canonical_spec(text) == canonical
+
+    @pytest.mark.parametrize("text,canonical", GOLDEN)
+    def test_canonical_round_trips(self, text, canonical):
+        """parse(canonical(s)) == parse(s), and canonical is a fixed
+        point — the property that makes it safe cache-key material."""
+        spec = registry.parse_mechanism_spec(text)
+        again = registry.parse_mechanism_spec(spec.canonical())
+        assert again == spec
+        assert again.canonical() == canonical
+
+    def test_caller_built_mechanismspec_is_renormalized(self):
+        """A MechanismSpec assembled from the public dataclasses (not
+        the grammar) must not bypass normalization: terms re-sort,
+        default-valued params drop, values re-coerce, and the
+        composition checks still apply — the object path may never
+        leak non-canonical strings into cache keys."""
+        spec = registry.MechanismSpec((
+            registry.MechanismTerm("nuat"),
+            registry.MechanismTerm("chargecache", (("entries", 128),))))
+        assert registry.canonical_spec(spec) == "chargecache+nuat"
+        assert registry.canonical_spec(registry.MechanismSpec((
+            registry.MechanismTerm("chargecache", (("entries", 256),)),
+        ))) == "chargecache(entries=256)"
+        with pytest.raises(ValueError, match="twice"):
+            registry.canonical_spec(registry.MechanismSpec((
+                registry.MechanismTerm("nuat"),
+                registry.MechanismTerm("nuat"))))
+        with pytest.raises(ValueError, match="'none'"):
+            registry.canonical_spec(registry.MechanismSpec((
+                registry.MechanismTerm("none"),
+                registry.MechanismTerm("nuat"))))
+        with pytest.raises(ValueError):
+            registry.canonical_spec(registry.MechanismSpec((
+                registry.MechanismTerm("chargecache",
+                                       (("entries", 0),)),)))
+
+    def test_permutations_one_canonical(self):
+        import itertools
+        names = ("chargecache(entries=64)", "nuat", "aldram")
+        forms = {registry.canonical_spec("+".join(p))
+                 for p in itertools.permutations(names)}
+        assert len(forms) == 1
+
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "bogus", "chargecache(", "chargecache)",
+        "chargecache(entries)", "chargecache(entries=)",
+        "chargecache(entries=abc)", "chargecache(entries=1.5)",
+        "chargecache(unbounded=maybe)", "chargecache(frobnicate=1)",
+        "chargecache(entries=0)", "chargecache(entries=101)",  # assoc 2
+        "none(x=1)", "none+chargecache", "chargecache+chargecache",
+        "nuat(bin_edges_ms=3)",  # tuple params have no inline syntax
+        "lldram(entries=64)",    # dead knob: lldram hits on every ACT
+        "lldram(sharing=shared)",
+        "+chargecache", "chargecache+",
+    ])
+    def test_invalid_specs_fail_eagerly(self, bad):
+        with pytest.raises(ValueError):
+            registry.parse_mechanism_spec(bad)
+
+    def test_default_valued_param_yields_to_config_block(self, refresh):
+        """Precedence contract (DESIGN.md section 6): an inline value
+        equal to the registered default is an identity — it shares a
+        cache key with the plain spelling, so it must also mean the
+        same behaviour, i.e. a non-default config block wins over it.
+        Non-default inline values beat the block."""
+        import dataclasses
+        cfg = single_core_config("chargecache")
+        cfg = dataclasses.replace(
+            cfg, chargecache=dataclasses.replace(cfg.chargecache,
+                                                 entries=512))
+        ctx = registry.MechanismContext(
+            timing=DDR3_1600, num_cores=1, refresh_scheduler=refresh,
+            config=cfg)
+        assert registry.build("chargecache(entries=128)", ctx) \
+            .config.entries == 512   # identity: block wins
+        assert registry.build("chargecache(entries=64)", ctx) \
+            .config.entries == 64    # deviation: inline wins
+
+    def test_cross_field_validation_is_against_registered_defaults(self):
+        """Documented limitation (DESIGN.md section 6): eager
+        validation merges inline values into the registered defaults,
+        so a spec only valid against a custom config block must spell
+        the coupled parameters inline together."""
+        with pytest.raises(ValueError, match="associativity"):
+            # 3 is fine with associativity=3, but the registered
+            # default is 2 and the parse has no config in hand.
+            registry.parse_mechanism_spec("chargecache(entries=3)")
+        spec = registry.parse_mechanism_spec(
+            "chargecache(entries=3,associativity=3)")
+        assert spec.canonical() == \
+            "chargecache(associativity=3,entries=3)"
+
+    def test_duplicate_param_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            registry.parse_mechanism_spec(
+                "chargecache(entries=64,entries=32)")
+        with pytest.raises(ValueError, match="twice"):
+            # Alias and canonical name collide.
+            registry.parse_mechanism_spec(
+                "chargecache(duration_ms=2,caching_duration_ms=4)")
+
+
+class TestRegistryCompleteness:
+    def test_every_registered_name_constructible_with_defaults(self):
+        ctx = registry.default_context()
+        for name in registry.mechanism_names():
+            mech = registry.build(name, ctx)
+            assert mech.name == name
+            # The mechanism interface is usable out of the box.
+            mech.on_activate(0, 0, 0, 0, 0)
+            assert mech.lookups == 1
+
+    def test_mechanisms_era_names_resolve_through_registry(self):
+        """CI guard twin: every pre-registry plain name must parse,
+        normalize to itself, and build — shim coverage cannot rot."""
+        ctx = registry.default_context()
+        for name in MECHANISMS:
+            assert registry.canonical_spec(name) == name
+            mech = registry.build(name, ctx)
+            assert mech.name == name
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ValueError, match="registered"):
+            registry.registered("warpdrive")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @registry.register_mechanism("chargecache")
+            def _dup(ctx, overrides):  # pragma: no cover
+                raise AssertionError
+
+    def test_bad_registration_name_rejected(self):
+        with pytest.raises(ValueError, match="lowercase"):
+            registry.register_mechanism("Bad Name")
+
+    def test_alias_must_target_real_field(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            registry.register_mechanism(
+                "alias-check", params=ChargeCacheConfig,
+                aliases={"nope": "missing_field"})
+
+
+class TestBuild:
+    def test_plain_types(self, ctx):
+        assert isinstance(registry.build("none", ctx), DefaultTiming)
+        assert isinstance(registry.build("chargecache", ctx), ChargeCache)
+        assert isinstance(registry.build("nuat", ctx), NUAT)
+        assert isinstance(registry.build("lldram", ctx), LowLatencyDRAM)
+        assert isinstance(registry.build("aldram", ctx), ALDRAM)
+
+    def test_inline_params_reach_the_mechanism(self, ctx):
+        mech = registry.build("chargecache(entries=256,sharing=shared)",
+                              ctx)
+        assert mech.config.entries == 256
+        assert mech.config.sharing == "shared"
+        assert len(mech.tables) == 1  # shared mode: one table
+
+    def test_config_blocks_supply_defaults(self, refresh):
+        cfg = single_core_config(
+            "chargecache",
+            chargecache=ChargeCacheConfig(entries=512, associativity=2))
+        ctx = registry.MechanismContext(
+            timing=DDR3_1600, num_cores=1, refresh_scheduler=refresh,
+            config=cfg)
+        assert registry.build("chargecache", ctx).config.entries == 512
+        # Inline overrides beat the config block.
+        assert registry.build("chargecache(entries=64)",
+                              ctx).config.entries == 64
+
+    def test_inline_duration_rederives_reductions(self, ctx):
+        """An inline duration re-derives the Table 2 timing reductions
+        exactly like the harness's cc_duration_ms path does."""
+        from repro.circuit.latency_tables import reductions_for_duration_ms
+        mech = registry.build("chargecache(duration_ms=16)", ctx)
+        assert (mech.config.trcd_reduction_cycles,
+                mech.config.tras_reduction_cycles) == \
+            reductions_for_duration_ms(16.0)
+
+    def test_aldram_temperature_inline(self, ctx):
+        cool = registry.build("aldram(temperature=55)", ctx)
+        assert cool.temperature_c == 55.0
+        assert cool.on_activate(0, 0, 0, 0, 0) is not None  # derated
+
+    def test_nuat_requires_refresh_scheduler(self):
+        ctx = registry.MechanismContext(timing=DDR3_1600)
+        with pytest.raises(ValueError, match="refresh scheduler"):
+            registry.build("nuat", ctx)
+
+    def test_build_mechanism_shim_matches_registry(self, refresh):
+        """The deprecated factory is a thin shim: same types, same
+        composition order, same parameter blocks."""
+        for name in MECHANISMS:
+            cfg = SimulationConfig(mechanism=name)
+            shim = build_mechanism(cfg, DDR3_1600, 1, refresh)
+            direct = registry.build(name, registry.MechanismContext(
+                timing=DDR3_1600, num_cores=1,
+                refresh_scheduler=refresh, config=cfg))
+            assert type(shim) is type(direct)
+            assert shim.name == direct.name == name
+
+
+def _stimulus(mech, rows=64, cycles_per_step=50):
+    """Drive a mechanism through a deterministic ACT/PRE pattern and
+    return every observable (offer sequence + stats)."""
+    offers = []
+    cycle = 0
+    for step in range(400):
+        row = (step * 7) % rows
+        bank = step % 8
+        cycle += cycles_per_step
+        if step % 3 == 0:
+            mech.on_precharge(0, bank, row, 0, cycle)
+        else:
+            offers.append(mech.on_activate(0, bank, row, 0, cycle))
+        mech.maintain(cycle)
+    return offers, mech.lookups, mech.hits
+
+
+class TestNWayComposition:
+    def test_two_way_parity_with_legacy_pairs(self, refresh):
+        """Registry-built chargecache+nuat behaves bit-for-bit like a
+        hand-assembled two-way CombinedMechanism."""
+        cfg = SimulationConfig(mechanism="chargecache+nuat")
+        legacy = CombinedMechanism(
+            DDR3_1600,
+            ChargeCache(DDR3_1600, cfg.chargecache, 1),
+            NUAT(DDR3_1600, cfg.nuat, refresh))
+        built = registry.build("nuat+chargecache", registry.MechanismContext(
+            timing=DDR3_1600, num_cores=1, refresh_scheduler=refresh,
+            config=cfg))
+        assert _stimulus(legacy) == _stimulus(built)
+
+    def test_three_way_equals_pairwise_min(self, refresh):
+        """N-way composition == folding the same parts pairwise: same
+        offers on every ACT (min is associative)."""
+        def parts():
+            cfg = SimulationConfig()
+            return (ChargeCache(DDR3_1600, cfg.chargecache, 1),
+                    NUAT(DDR3_1600, cfg.nuat, refresh),
+                    LowLatencyDRAM(DDR3_1600, cfg.chargecache))
+
+        flat = CombinedMechanism(DDR3_1600, *parts())
+        a, b, c = parts()
+        nested = CombinedMechanism(
+            DDR3_1600, CombinedMechanism(DDR3_1600, a, b), c)
+        flat_offers, flat_lookups, flat_hits = _stimulus(flat)
+        nested_offers, _, _ = _stimulus(nested)
+        assert flat_offers == nested_offers
+        assert flat_lookups == 266 and flat_hits == 266  # lldram: all hit
+
+    def test_three_way_next_wake_and_reset(self, refresh):
+        cfg = SimulationConfig()
+        mech = registry.build(
+            "chargecache+nuat+aldram",
+            registry.MechanismContext(timing=DDR3_1600, num_cores=1,
+                                      refresh_scheduler=refresh,
+                                      config=cfg))
+        assert isinstance(mech, CombinedMechanism)
+        assert len(mech.mechanisms) == 3
+        mech.on_precharge(0, 0, 5, 0, 10)
+        wake = mech.next_wake(10)
+        assert wake == min(m.next_wake(10) for m in mech.mechanisms)
+        mech.on_activate(0, 0, 5, 0, 20)
+        mech.reset_stats()
+        assert mech.lookups == 0
+        assert all(m.lookups == 0 for m in mech.mechanisms)
+
+    def test_combined_requires_two_parts(self):
+        with pytest.raises(ValueError):
+            CombinedMechanism(DDR3_1600, DefaultTiming(DDR3_1600))
+
+
+class TestExtractRunParams:
+    def test_folds_inline_chargecache_shorthand(self):
+        assert registry.extract_run_params(
+            "nuat+chargecache(entries=256,unbounded=true)") == \
+            ("chargecache+nuat", 256, None, True)
+
+    def test_defaults_normalize_to_none(self):
+        assert registry.extract_run_params(
+            "chargecache(entries=128,duration_ms=1.0)") == \
+            ("chargecache", None, None, False)
+        assert registry.extract_run_params(
+            "chargecache", cc_entries=128, cc_duration_ms=1.0) == \
+            ("chargecache", None, None, False)
+
+    def test_kwargs_and_inline_merge(self):
+        assert registry.extract_run_params(
+            "chargecache(entries=256)", cc_duration_ms=0.5) == \
+            ("chargecache", 256, 0.5, False)
+        # Agreeing duplicates are fine.
+        assert registry.extract_run_params(
+            "chargecache(entries=256)", cc_entries=256)[1] == 256
+
+    def test_conflicting_values_rejected(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            registry.extract_run_params("chargecache(entries=256)",
+                                        cc_entries=64)
+
+    def test_default_valued_inline_yields_to_shorthand(self):
+        """An inline value at the registered default is an identity
+        (dropped at parse time), so it is NOT a conflict with a
+        shorthand value — the shorthand wins, matching the
+        config-block precedence at build time (DESIGN.md section 6)."""
+        assert registry.extract_run_params(
+            "chargecache(entries=128)", cc_entries=256) == \
+            ("chargecache", 256, None, False)
+
+    def test_non_shorthand_params_keep_the_whole_term_inline(self):
+        """A term with any non-shorthand parameter is not split:
+        cross-field constraints (entries % associativity) couple the
+        values, so the term stays inline as one validated unit and
+        the shorthand fields come back empty."""
+        assert registry.extract_run_params(
+            "chargecache(entries=256,sharing=shared)") == \
+            ("chargecache(entries=256,sharing=shared)", None, None, False)
+        # Shorthand kwargs merge INTO the inline term in that case.
+        assert registry.extract_run_params(
+            "chargecache(sharing=shared)", cc_entries=256) == \
+            ("chargecache(entries=256,sharing=shared)", None, None, False)
+        # The DESIGN.md workaround spec flows through the harness fold.
+        assert registry.extract_run_params(
+            "chargecache(entries=3,associativity=3)") == \
+            ("chargecache(associativity=3,entries=3)", None, None, False)
+
+    def test_without_chargecache_term_passthrough(self):
+        assert registry.extract_run_params("lldram", cc_duration_ms=16.0) \
+            == ("lldram", None, 16.0, False)
+
+    def test_shorthand_values_coerced_to_grammar_types(self):
+        """cc_duration_ms=4 (int) and duration_ms=4.0 inline are one
+        run and must fold identically (cache keys hash the values)."""
+        assert registry.extract_run_params(
+            "chargecache", cc_duration_ms=4) == \
+            registry.extract_run_params("chargecache(duration_ms=4.0)")
+        assert registry.extract_run_params(
+            "chargecache(duration_ms=4)", cc_duration_ms=4)[2] == 4.0
+
+    def test_lldram_duration_folds_to_the_shorthand_home(self):
+        """Both spellings of an LL-DRAM duration are one run and must
+        land on one cache key; conflicts raise like chargecache's."""
+        assert registry.extract_run_params("lldram(duration_ms=4)") == \
+            ("lldram", None, 4.0, False)
+        assert registry.extract_run_params("lldram(duration_ms=4)") == \
+            registry.extract_run_params("lldram", cc_duration_ms=4.0)
+        with pytest.raises(ValueError, match="conflicting"):
+            registry.extract_run_params("lldram(duration_ms=4)",
+                                        cc_duration_ms=8.0)
+        # Explicit reduction overrides couple with the duration via
+        # the factory's re-derivation: the term then stays inline.
+        assert registry.extract_run_params(
+            "lldram(duration_ms=4,trcd_reduction_cycles=2)") == \
+            ("lldram(caching_duration_ms=4.0,trcd_reduction_cycles=2)",
+             None, None, False)
+
+
+class TestConfigIntegration:
+    def test_simulation_config_accepts_parameterized_specs(self):
+        SimulationConfig(
+            mechanism="chargecache(entries=256)+nuat").validate()
+
+    def test_simulation_config_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(mechanism="chargecache(entries=-1)").validate()
+        with pytest.raises(ValueError):
+            SimulationConfig(mechanism="turbo").validate()
+
+    def test_with_mechanism_revalidates(self):
+        base = single_core_config("none")
+        with pytest.raises(ValueError):
+            base.with_mechanism("not-a-mechanism")
+        with pytest.raises(ValueError):
+            base.with_mechanism("chargecache(entries=3)")  # assoc 2
+
+    def test_with_engine_revalidates(self):
+        with pytest.raises(ValueError):
+            single_core_config("none").with_engine("warp")
