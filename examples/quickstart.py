@@ -19,7 +19,6 @@ Run:  python examples/quickstart.py
 """
 
 from repro import Organization, System, make_trace, single_core_config
-from repro.dram.timing import DDR3_1600
 from repro.energy.drampower import energy_for_run
 
 WORKLOAD = "libquantum"
@@ -49,8 +48,10 @@ def main() -> None:
     cc = run(MECHANISM)
 
     speedup = cc.total_ipc / base.total_ipc - 1.0
-    e_base = energy_for_run(base, DDR3_1600)
-    e_cc = energy_for_run(cc, DDR3_1600)
+    # Timing and IDD currents resolve from the run's configured DRAM
+    # standard (DDR3-1600 here).
+    e_base = energy_for_run(base)
+    e_cc = energy_for_run(cc)
     saved = 1.0 - e_cc.total_pj / e_base.total_pj
 
     print(f"baseline IPC:        {base.total_ipc:.3f}")

@@ -48,9 +48,10 @@ from repro.core.registry import (
 )
 from repro.cpu.system import System, RunResult
 from repro.dram.organization import Organization
+from repro.dram.standards import StandardProfile, profile, profile_for_config
 from repro.dram.timing import DDR3_1600, TimingParameters
-from repro.energy.drampower import energy_for_run
-from repro.energy.mcpat import hcrac_overhead
+from repro.energy.drampower import PowerParameters, energy_for_run
+from repro.energy.mcpat import hcrac_overhead, overhead_for_config
 from repro.workloads.spec_like import make_trace, WORKLOAD_NAMES
 from repro.workloads.mixes import make_mix_traces, MIX_NAMES
 
@@ -76,8 +77,13 @@ __all__ = [
     "Organization",
     "DDR3_1600",
     "TimingParameters",
+    "StandardProfile",
+    "profile",
+    "profile_for_config",
+    "PowerParameters",
     "energy_for_run",
     "hcrac_overhead",
+    "overhead_for_config",
     "make_trace",
     "WORKLOAD_NAMES",
     "make_mix_traces",

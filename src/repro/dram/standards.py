@@ -1,20 +1,30 @@
-"""Timing presets for other DDR-derived standards (paper Section 7.2).
+"""Timing and power presets for the DDR-derived standards family
+(paper Sections 6.2 and 7.2).
 
 The paper argues ChargeCache applies unchanged to any standard with
 explicit ACT/PRE commands (DDRx, GDDRx, LPDDRx, 3D-stacked stacks with
 a logic-layer controller) and is *inapplicable* to RL-DRAM, whose
 interface has no controller-visible activation.
 
-These presets are representative datasheet values (bus cycles at the
-named data rate), sufficient to demonstrate the mechanism end-to-end on
-non-DDR3 devices; they are not complete JEDEC models.
+Each standard is registered here as one :class:`StandardProfile`
+bundling its timing preset with a datasheet-representative
+:class:`~repro.energy.drampower.PowerParameters` IDD set, so a
+config's ``dram.standard`` resolves *both* from one place
+(:func:`profile` / :func:`profile_for_config`) and the timing and
+energy models can never disagree about which device a run simulated.
+The presets are representative datasheet values (bus cycles at the
+named data rate, IDD classes for a mainstream density), sufficient to
+demonstrate the mechanism end-to-end on non-DDR3 devices; they are not
+complete JEDEC models.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.dram.timing import DDR3_1600, TimingParameters
+from repro.energy.drampower import PowerParameters
 
 #: DDR4-2400: 1200 MHz bus, tCK = 0.833 ns.
 DDR4_2400 = TimingParameters(
@@ -82,21 +92,126 @@ GDDR5_4000 = TimingParameters(
     tRTRS=2,
 )
 
-PRESETS: Dict[str, TimingParameters] = {
-    "DDR3-1600": DDR3_1600,
-    "DDR4-2400": DDR4_2400,
-    "LPDDR3-1600": LPDDR3_1600,
-    "GDDR5-4000": GDDR5_4000,
+# ----------------------------------------------------------------------
+# Power presets (datasheet-representative IDD sets per standard)
+# ----------------------------------------------------------------------
+
+#: Micron DDR3-1600 4 Gb x8 (the paper's Table 1 device [57]); eight
+#: x8 chips fill the 64-bit bus.  Matches
+#: :class:`~repro.energy.drampower.PowerParameters`'s defaults.
+DDR3_1600_POWER = PowerParameters(name="DDR3-1600")
+
+#: DDR4-2400 8 Gb x8 at 1.2 V: lower supply than DDR3, slightly higher
+#: standby/refresh currents for the doubled density.
+DDR4_2400_POWER = PowerParameters(
+    name="DDR4-2400",
+    vdd=1.2,
+    idd0_ma=58.0,
+    idd2n_ma=34.0,
+    idd3n_ma=44.0,
+    idd4r_ma=150.0,
+    idd4w_ma=145.0,
+    idd5b_ma=235.0,
+    chips_per_rank=8,
+)
+
+#: LPDDR3-1600 x32 at 1.2 V: mobile part, aggressively low standby
+#: currents; two x32 dies cover the 64-bit bus.
+LPDDR3_1600_POWER = PowerParameters(
+    name="LPDDR3-1600",
+    vdd=1.2,
+    idd0_ma=32.0,
+    idd2n_ma=9.0,
+    idd3n_ma=16.0,
+    idd4r_ma=180.0,
+    idd4w_ma=160.0,
+    idd5b_ma=140.0,
+    chips_per_rank=2,
+)
+
+#: GDDR5 x32 at 1.5 V: graphics part trading current for bandwidth;
+#: two x32 chips per 64-bit channel.
+GDDR5_4000_POWER = PowerParameters(
+    name="GDDR5-4000",
+    vdd=1.5,
+    idd0_ma=75.0,
+    idd2n_ma=40.0,
+    idd3n_ma=50.0,
+    idd4r_ma=260.0,
+    idd4w_ma=230.0,
+    idd5b_ma=255.0,
+    chips_per_rank=2,
+)
+
+
+# ----------------------------------------------------------------------
+# Standard profiles: one timing + power bundle per standard
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StandardProfile:
+    """Everything the harness knows about one DRAM standard.
+
+    A profile is the single resolution point for a config's
+    ``dram.standard``: :class:`repro.cpu.system.System` takes the
+    ``timing`` half, the energy path
+    (:func:`repro.energy.drampower.energy_for_run`) takes both halves,
+    so a run can never be simulated on one standard's clock and billed
+    at another's currents.  Profile names are the registry keys of
+    :data:`PROFILES` and are embedded (via scenario names and
+    ``DRAMConfig.standard``) in run-cache keys — never re-bind a name
+    to a different device; add a new name instead.
+    """
+
+    name: str
+    timing: TimingParameters
+    power: PowerParameters
+
+    def validate(self) -> None:
+        if self.timing.name != self.name or self.power.name != self.name:
+            raise ValueError(
+                f"profile {self.name!r} bundles mismatched presets: "
+                f"timing={self.timing.name!r}, power={self.power.name!r}")
+        self.timing.validate()
+        self.power.validate()
+
+
+PROFILES: Dict[str, StandardProfile] = {
+    prof.name: prof
+    for prof in (
+        StandardProfile("DDR3-1600", DDR3_1600, DDR3_1600_POWER),
+        StandardProfile("DDR4-2400", DDR4_2400, DDR4_2400_POWER),
+        StandardProfile("LPDDR3-1600", LPDDR3_1600, LPDDR3_1600_POWER),
+        StandardProfile("GDDR5-4000", GDDR5_4000, GDDR5_4000_POWER),
+    )
 }
+for _prof in PROFILES.values():
+    _prof.validate()
+
+#: Timing halves of :data:`PROFILES` (the pre-profile public surface;
+#: derived so the two registries cannot drift apart).
+PRESETS: Dict[str, TimingParameters] = {
+    name: prof.timing for name, prof in PROFILES.items()
+}
+
+
+def profile(name: str) -> StandardProfile:
+    """Look up a standard's timing+power profile by name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown standard {name!r}; known: {sorted(PROFILES)}") from None
+
+
+def profile_for_config(config) -> StandardProfile:
+    """The profile a :class:`repro.config.SimulationConfig` runs on."""
+    return profile(config.dram.standard)
 
 
 def preset(name: str) -> TimingParameters:
     """Look up a standard's timing preset by name."""
-    try:
-        return PRESETS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown standard {name!r}; known: {sorted(PRESETS)}") from None
+    return profile(name).timing
 
 
 def reduction_cycles_for(timing: TimingParameters,

@@ -2,7 +2,7 @@
 
 Energy is computed from the simulator's post-warmup command counts and
 state-residency using the standard IDDx current-class decomposition
-(Micron DDR3 datasheet / DRAMPower methodology):
+(DRAMPower methodology, shared by the DDRx/LPDDRx/GDDRx family):
 
 * **ACT/PRE pair**: ``(IDD0*tRC - IDD3N*tRAS - IDD2N*(tRC-tRAS)) * VDD``
   per activation - the charge above the standby floor.
@@ -10,6 +10,16 @@ state-residency using the standard IDDx current-class decomposition
 * **Refresh**: ``(IDD5B - IDD2N) * VDD * tRFC``.
 * **Background**: ``IDD3N`` while >= 1 bank is open (active standby),
   ``IDD2N`` otherwise (precharged standby).
+
+The decomposition is standard-independent; only the parameters change.
+:class:`PowerParameters` holds one device's IDD classes and supply
+voltage, and :mod:`repro.dram.standards` registers a datasheet-
+representative preset per timing grade inside each
+:class:`~repro.dram.standards.StandardProfile`, so a run's energy is
+always computed with the IDD set *and* clock of the standard the run
+was simulated on.  :func:`energy_for_run` resolves both from
+``result.config`` — callers only pass timing/power explicitly to model
+a hypothetical device.
 
 ChargeCache reduces DRAM energy through exactly two terms the model
 captures: a shorter run (less background energy for the same work) and
@@ -24,18 +34,22 @@ sharing the 64-bit bus.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.dram.timing import TimingParameters
 
 
 @dataclass(frozen=True)
-class DDR3PowerParameters:
+class PowerParameters:
     """IDD current classes (mA) and supply voltage for one device.
 
-    Values follow a Micron DDR3-1600 4 Gb x8 datasheet (the device the
-    paper's Table 1 cites [57]).
+    The defaults follow a Micron DDR3-1600 4 Gb x8 datasheet (the
+    device the paper's Table 1 cites [57]); the other standards'
+    presets live next to their timing presets in
+    :mod:`repro.dram.standards`.
     """
 
+    name: str = "DDR3-1600"
     vdd: float = 1.5
     idd0_ma: float = 55.0    # one-bank ACT->PRE cycling
     idd2n_ma: float = 32.0   # precharged standby
@@ -46,10 +60,35 @@ class DDR3PowerParameters:
     chips_per_rank: int = 8
 
     def validate(self) -> None:
+        if self.vdd <= 0 or self.chips_per_rank < 1:
+            raise ValueError("voltage/chips must be positive")
+        for field in ("idd0_ma", "idd2n_ma", "idd3n_ma", "idd4r_ma",
+                      "idd4w_ma", "idd5b_ma"):
+            if getattr(self, field) <= 0:
+                raise ValueError(
+                    f"{self.name}: {field} must be positive, "
+                    f"got {getattr(self, field)}")
         if self.idd3n_ma < self.idd2n_ma:
-            raise ValueError("IDD3N must be >= IDD2N")
-        if self.idd0_ma <= 0 or self.vdd <= 0 or self.chips_per_rank < 1:
-            raise ValueError("currents/voltage/chips must be positive")
+            raise ValueError(
+                f"{self.name}: IDD3N ({self.idd3n_ma} mA) must be >= "
+                f"IDD2N ({self.idd2n_ma} mA)")
+        # Burst terms subtract the standby floor they sit on top of; a
+        # burst current below it would yield silently negative read/
+        # write/refresh energy components.
+        if self.idd4r_ma < self.idd3n_ma or self.idd4w_ma < self.idd3n_ma:
+            raise ValueError(
+                f"{self.name}: IDD4R/IDD4W ({self.idd4r_ma}/"
+                f"{self.idd4w_ma} mA) must be >= IDD3N "
+                f"({self.idd3n_ma} mA)")
+        if self.idd5b_ma < self.idd2n_ma:
+            raise ValueError(
+                f"{self.name}: IDD5B ({self.idd5b_ma} mA) must be >= "
+                f"IDD2N ({self.idd2n_ma} mA)")
+
+
+#: Backward-compatible alias: the original model was DDR3-only and the
+#: class defaults still describe that device.
+DDR3PowerParameters = PowerParameters
 
 
 @dataclass
@@ -99,7 +138,7 @@ def energy_components(activations: int, reads: int, writes: int,
                       refreshes: int, rank_active_cycles: int,
                       total_rank_cycles: int,
                       timing: TimingParameters,
-                      power: DDR3PowerParameters = DDR3PowerParameters(),
+                      power: Optional[PowerParameters] = None,
                       mechanism_pj: float = 0.0) -> EnergyBreakdown:
     """Energy breakdown from raw counts (all ranks aggregated).
 
@@ -107,9 +146,19 @@ def energy_components(activations: int, reads: int, writes: int,
         rank_active_cycles: sum over ranks of any-bank-open cycles.
         total_rank_cycles: ranks * run-length cycles.
     """
+    if power is None:
+        power = PowerParameters()
     power.validate()
+    for what, value in (("activations", activations), ("reads", reads),
+                        ("writes", writes), ("refreshes", refreshes),
+                        ("rank_active_cycles", rank_active_cycles),
+                        ("total_rank_cycles", total_rank_cycles)):
+        if value < 0:
+            raise ValueError(f"{what} must be non-negative, got {value}")
     if rank_active_cycles > total_rank_cycles:
         raise ValueError("active cycles exceed total rank cycles")
+    if mechanism_pj < 0:
+        raise ValueError("mechanism energy must be non-negative")
     tck = timing.tCK_ns
     chips = power.chips_per_rank
     vdd = power.vdd
@@ -135,20 +184,59 @@ def energy_components(activations: int, reads: int, writes: int,
                            bg_pre, mechanism_pj)
 
 
-def energy_for_run(result, timing: TimingParameters,
-                   power: DDR3PowerParameters = DDR3PowerParameters(),
+def _resolve(result, timing: Optional[TimingParameters],
+             power: Optional[PowerParameters]):
+    """Fill missing timing/power from the run config's standard."""
+    if timing is None or power is None:
+        from repro.dram.standards import profile_for_config
+        prof = profile_for_config(result.config)
+        timing = timing if timing is not None else prof.timing
+        power = power if power is not None else prof.power
+    return timing, power
+
+
+def run_seconds(result, timing: Optional[TimingParameters] = None) -> float:
+    """Wall-clock length of a run in its own standard's bus clock."""
+    if timing is None:
+        from repro.dram.standards import profile_for_config
+        timing = profile_for_config(result.config).timing
+    return result.mem_cycles * timing.tCK_ns * 1e-9
+
+
+def access_rate_for_run(result,
+                        timing: Optional[TimingParameters] = None) -> float:
+    """HCRAC accesses (ACT + RD + WR) per second of run time.
+
+    Feeds :meth:`repro.energy.mcpat.HCRACOverhead.average_power_w`;
+    the denominator uses the run's own clock, so the rate is correct
+    on every standard, not just DDR3.
+    """
+    seconds = run_seconds(result, timing)
+    if seconds <= 0:
+        return 0.0
+    return (result.activations + result.reads + result.writes) / seconds
+
+
+def energy_for_run(result, timing: Optional[TimingParameters] = None,
+                   power: Optional[PowerParameters] = None,
                    mechanism_power_w: float = 0.0) -> EnergyBreakdown:
     """Energy breakdown for a :class:`repro.cpu.system.RunResult`.
+
+    Timing and IDD parameters default to the
+    :class:`~repro.dram.standards.StandardProfile` of the standard the
+    run's config names, so a DDR4/LPDDR3/GDDR5 run is charged with its
+    own clock and currents.  Pass ``timing``/``power`` explicitly only
+    to model a hypothetical device.
 
     ``mechanism_power_w`` is the average power of the latency
     mechanism's hardware (e.g. ChargeCache's HCRAC from
     :func:`repro.energy.mcpat.hcrac_overhead`), integrated over the run.
     """
+    timing, power = _resolve(result, timing, power)
     cfg = result.config
     ranks = cfg.dram.channels * cfg.dram.ranks_per_channel
     total_rank_cycles = ranks * result.mem_cycles
-    run_seconds = result.mem_cycles * timing.tCK_ns * 1e-9
-    mechanism_pj = mechanism_power_w * run_seconds * 1e12
+    mechanism_pj = mechanism_power_w * run_seconds(result, timing) * 1e12
     return energy_components(
         activations=result.activations,
         reads=result.reads,

@@ -112,9 +112,17 @@ def hcrac_overhead(cores: int = 8, channels: int = 2, entries: int = 128,
 
 
 def overhead_for_config(config) -> HCRACOverhead:
-    """Overhead for a :class:`repro.config.SimulationConfig`."""
+    """Overhead for a :class:`repro.config.SimulationConfig`.
+
+    Honours the ChargeCache ``sharing`` mode: equation (1)'s per-core
+    factor C applies to the paper's replicated per-(core, channel)
+    tables; ``sharing="shared"`` keeps one table per channel
+    (:class:`repro.core.chargecache.ChargeCache` builds exactly one),
+    so C = 1.
+    """
+    per_core = config.chargecache.sharing != "shared"
     return hcrac_overhead(
-        cores=config.processor.num_cores,
+        cores=config.processor.num_cores if per_core else 1,
         channels=config.dram.channels,
         entries=config.chargecache.entries,
         associativity=config.chargecache.associativity,

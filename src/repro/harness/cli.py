@@ -9,6 +9,7 @@ Examples::
     chargecache-harness fig9 --no-cache --jobs 0   # recompute, all CPUs
     chargecache-harness scaling --jobs 4    # core-count x ranks matrix
     chargecache-harness standards --jobs 4  # DDR4/LPDDR3/GDDR5 grades
+    chargecache-harness energy --jobs 4     # fig8 x standards family
 
     # Parameterized mechanism specs (repro.core.registry grammar):
     chargecache-harness fig7a --mechanisms "chargecache(entries=256)+nuat"
@@ -71,6 +72,7 @@ _EXPERIMENTS = {
     "table1": lambda w, s, m=None: experiments.run_table1(),
     "scaling": lambda w, s, m=None: experiments.run_scaling(w, s),
     "standards": lambda w, s, m=None: experiments.run_standards(w, s),
+    "energy": lambda w, s, m=None: experiments.run_energy(w, s),
 }
 
 #: Experiments that honour ``--mechanisms``.

@@ -100,12 +100,24 @@ def _render_sec63(result: Dict) -> str:
         ("power / LLC", format_percent(result["power_fraction_of_llc"], 2),
          format_percent(paper["power_fraction_of_llc"], 2)),
     ]
+    # Overhead of the actual run config (coincides with the paper's
+    # design point on the default eight-core platform).
+    if "config_storage_bytes" in result:
+        rows += [
+            ("run-config storage (bytes)",
+             result["config_storage_bytes"], "-"),
+            ("run-config area (mm^2)",
+             round(result["config_area_mm2"], 4), "-"),
+            ("run-config avg power (mW)",
+             round(result["config_average_power_mw"], 3), "-"),
+        ]
     return format_table(("metric", "measured", "paper"), rows,
                         title="sec6.3: ChargeCache hardware overhead")
 
 
 #: Scenario-matrix columns rendered as percentages.
-_SCENARIO_PERCENT_COLS = ("row_hit", "cc_hit_rate", "cc_speedup")
+_SCENARIO_PERCENT_COLS = ("row_hit", "cc_hit_rate", "cc_speedup",
+                          "average_reduction", "max_reduction")
 
 
 def _render_scenario_matrix(result: Dict) -> str:
@@ -133,4 +145,5 @@ _RENDERERS = {
     "sec6.3": _render_sec63,
     "scaling": _render_scenario_matrix,
     "standards": _render_scenario_matrix,
+    "energy": _render_scenario_matrix,
 }

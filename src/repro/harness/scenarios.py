@@ -47,7 +47,13 @@ from repro.config import (
     SimulationConfig,
 )
 from repro.cpu.trace import TraceRecord
-from repro.dram.standards import PRESETS, derated_reduction_cycles, preset
+from repro.dram.standards import (
+    PRESETS,
+    StandardProfile,
+    derated_reduction_cycles,
+    preset,
+    profile,
+)
 from repro.dram.timing import TimingParameters
 from repro.workloads.mixes import MIX_NAMES, mix_composition
 from repro.workloads.spec_like import PROFILES, make_trace
@@ -102,6 +108,11 @@ class Scenario:
     @property
     def timing(self) -> TimingParameters:
         return preset(self.standard)
+
+    @property
+    def profile(self) -> StandardProfile:
+        """The standard's timing+power bundle (energy experiments)."""
+        return profile(self.standard)
 
     @property
     def total_ranks(self) -> int:

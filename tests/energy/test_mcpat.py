@@ -78,6 +78,15 @@ class TestConfigBridge:
         overhead = overhead_for_config(eight_core_config())
         assert overhead.storage_bytes == 5376
 
+    def test_shared_table_drops_the_per_core_factor(self):
+        """sharing="shared" builds one table per channel (paper
+        footnote 2), so equation (1)'s C factor is 1, not 8."""
+        from dataclasses import replace
+        cfg = eight_core_config()
+        shared = replace(cfg, chargecache=replace(cfg.chargecache,
+                                                  sharing="shared"))
+        assert overhead_for_config(shared).storage_bytes == 5376 // 8
+
     def test_bigger_table_bigger_area(self):
         small = hcrac_overhead(entries=128)
         large = hcrac_overhead(entries=1024)

@@ -113,12 +113,67 @@ class TestFig11:
         assert by_dur[1.0]["reductions"] >= by_dur[16.0]["reductions"]
 
 
+class TestEnergy:
+    """Per-standard energy experiment (fig8 x Section 7.2)."""
+
+    SMALL = ("c1-r1", "ddr4-2400-c1")
+
+    @pytest.fixture(autouse=True)
+    def _small_family(self, monkeypatch):
+        from repro.harness import scenarios
+        monkeypatch.setattr(scenarios, "STANDARD_SCENARIOS", self.SMALL)
+
+    def test_per_standard_rows(self):
+        result = experiments.run_energy(WORKLOADS, TINY)
+        assert result["id"] == "energy"
+        by_scen = {r["scenario"]: r for r in result["rows"]}
+        assert set(by_scen) == set(self.SMALL)
+        ddr3 = by_scen["c1-r1"]
+        ddr4 = by_scen["ddr4-2400-c1"]
+        assert ddr3["standard"] == "DDR3-1600"
+        assert ddr4["standard"] == "DDR4-2400"
+        # Each row carries its own standard's electrical identity.
+        assert ddr3["vdd"] == 1.5 and ddr4["vdd"] == 1.2
+        assert ddr4["tck_ns"] == pytest.approx(1000.0 / 1200.0)
+        for row in result["rows"]:
+            assert row["n"] == len(WORKLOADS)
+            assert row["baseline_uj"] > 0
+            assert row["max_reduction"] >= row["average_reduction"]
+            assert -0.2 <= row["average_reduction"] <= 1.0
+
+    def test_breakdown_components_non_negative_across_matrix(self):
+        """Property check on real runs: no standard's preset yields a
+        negative energy component anywhere in the sampled matrix."""
+        from repro.energy.drampower import energy_for_run
+        from repro.harness.runner import run_scenario
+        experiments.run_energy(WORKLOADS, TINY)  # populate the memo
+        for scen in self.SMALL:
+            for mech in ("none", "chargecache"):
+                for name in WORKLOADS:
+                    run = run_scenario(scen, name, mech, TINY,
+                                       idle_finished=True)
+                    breakdown = energy_for_run(run)
+                    for key, value in breakdown.as_dict().items():
+                        assert value >= 0, (scen, mech, name, key)
+
+
 class TestOverheadAndConfig:
     def test_sec63(self):
         result = experiments.run_sec63(TINY, mix="w1")
         assert result["storage_bytes"] == 5376
         assert result["area_mm2"] == pytest.approx(0.022, rel=0.02)
         assert 0.05 < result["average_power_mw"] < 1.0
+
+    def test_sec63_reports_run_config_overhead(self):
+        """The run-config overhead rides alongside the paper-config
+        numbers; on the default eight-core mix platform the two design
+        points coincide."""
+        result = experiments.run_sec63(TINY, mix="w1")
+        assert result["config_storage_bytes"] == result["storage_bytes"]
+        assert result["config_area_mm2"] == \
+            pytest.approx(result["area_mm2"])
+        assert result["config_average_power_mw"] == \
+            pytest.approx(result["average_power_mw"])
 
     def test_table1_echo(self):
         result = experiments.run_table1()

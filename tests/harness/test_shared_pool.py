@@ -150,6 +150,7 @@ class TestDeclarations:
         ("fig7a", ["libquantum"]),
         ("scaling", ["libquantum"]),
         ("standards", ["libquantum"]),
+        ("energy", ["libquantum"]),
     ])
     def test_declaration_covers_what_the_experiment_runs(
             self, name, workloads):
