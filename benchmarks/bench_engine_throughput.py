@@ -1,28 +1,39 @@
-"""Engine throughput: simulated bus-cycles per wall-second, dense vs
-event, on a memory-idle-heavy and a memory-bound workload.
+"""Engine throughput: dense vs event engines, and the batched
+multi-variant evaluator vs N serial runs.
 
-The event engine's win comes from skipping provably idle bus cycles,
-so its advantage is largest when the cores spend most of their time in
-non-memory instruction stretches (idle-heavy) and smallest when a
-command issues nearly every cycle (memory-bound).  Expectations
-enforced here:
+Three measurements, each with a hard expectation:
 
-* idle-heavy: >= 2x the dense engine's simulated-cycles/second;
-* memory-bound: no worse than a 10% regression;
-* both: bit-identical cycle counts (throughput must never be bought
-  with accuracy).
+* idle-heavy: the event engine reaches >= 2x the dense engine's
+  simulated-cycles/second (its win is skipping provably idle cycles);
+* memory-bound: no worse than a 10% regression (a command issues
+  nearly every cycle, so there is little to skip);
+* batch: a fig9-style capacity sweep (baseline + 10 HCRAC capacities +
+  unbounded = 12 mechanism variants over one workload) through
+  ``System.run_batch`` runs >= 3x faster than the same variants
+  simulated serially, with every per-variant result bit-identical.
 
-Runs standalone (``python benchmarks/bench_engine_throughput.py``) or
+All measurements must never buy throughput with accuracy: cycle
+counts (engines) and full result payloads (batch) are compared
+exactly.
+
+Runs standalone (``python benchmarks/bench_engine_throughput.py
+[--repeat N] [--json [PATH]]``; ``--repeat`` selects median-of-N
+timing, ``--json`` writes the measurements to BENCH_engine.json) or
 under pytest-benchmark like the figure benchmarks.
 """
 
 from __future__ import annotations
 
+import argparse
+import dataclasses
+import json
+import statistics
 import time
-from dataclasses import replace
+from typing import Optional
 
 from repro.config import (
     CacheConfig,
+    ChargeCacheConfig,
     ControllerConfig,
     DRAMConfig,
     ProcessorConfig,
@@ -30,7 +41,7 @@ from repro.config import (
 )
 from repro.cpu.system import System
 from repro.dram.organization import Organization
-from repro.workloads.synthetic import random_trace
+from repro.workloads.synthetic import random_trace, zipf_trace
 
 #: (mean bubbles per access, footprint bytes, instruction limit).
 WORKLOADS = {
@@ -41,6 +52,13 @@ WORKLOADS = {
     # the engines visit nearly the same cycles.
     "memory-bound": (4.0, 1 << 21, 120_000),
 }
+
+#: HCRAC capacities for the batched fig9-style sweep (plus the "none"
+#: baseline and the unbounded variant: 12 mechanism variants total).
+BATCH_CAPACITIES = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+#: Instruction budget for each batch-sweep variant.
+BATCH_INSTRUCTIONS = 30_000
 
 
 def _build(engine: str, bubbles: float, footprint: int,
@@ -61,26 +79,110 @@ def _build(engine: str, bubbles: float, footprint: int,
 
 
 def measure(workload: str, repeats: int = 3) -> dict:
-    """Best-of-N cycles/second for both engines on one workload."""
+    """Median-of-N cycles/second for both engines on one workload."""
     bubbles, footprint, limit = WORKLOADS[workload]
     rows = {}
     for engine in ("dense", "event"):
-        best_dt, cycles = None, None
+        times, cycles = [], None
         for _ in range(repeats):
             system = _build(engine, bubbles, footprint, limit)
             t0 = time.perf_counter()
             result = system.run(max_mem_cycles=50_000_000)
-            dt = time.perf_counter() - t0
-            if best_dt is None or dt < best_dt:
-                best_dt = dt
+            times.append(time.perf_counter() - t0)
             cycles = result.mem_cycles
-        rows[engine] = {"mem_cycles": cycles, "seconds": best_dt,
-                        "cycles_per_sec": cycles / best_dt}
+        dt = statistics.median(times)
+        rows[engine] = {"mem_cycles": cycles, "seconds": dt,
+                        "cycles_per_sec": cycles / dt}
     assert rows["dense"]["mem_cycles"] == rows["event"]["mem_cycles"], \
         "engines disagree on simulated time - parity bug"
     rows["speedup"] = (rows["event"]["cycles_per_sec"]
                        / rows["dense"]["cycles_per_sec"])
     return rows
+
+
+# ----------------------------------------------------------------------
+# Batched multi-variant evaluator
+# ----------------------------------------------------------------------
+
+def _batch_variant(mechanism: str, **cc_kwargs) -> SimulationConfig:
+    # A long physical caching duration (unscaled) keeps the
+    # invalidation sweep outside the run, so capacity variants that
+    # never evict share one decision stream and collapse onto one
+    # witness; the default 4/8-cycle reductions stay untouched.
+    cc = ChargeCacheConfig(caching_duration_ms=100.0, time_scale=1.0,
+                           **cc_kwargs)
+    cfg = SimulationConfig(
+        processor=ProcessorConfig(num_cores=1),
+        cache=CacheConfig(size_bytes=64 * 1024, associativity=4),
+        dram=DRAMConfig(channels=1, rows_per_bank=4096),
+        controller=ControllerConfig(row_policy="open"),
+        chargecache=cc,
+        mechanism=mechanism,
+        instruction_limit=BATCH_INSTRUCTIONS,
+        warmup_cpu_cycles=2000,
+    )
+    cfg.validate()
+    return cfg
+
+
+def _batch_configs() -> list:
+    return ([_batch_variant("none")]
+            + [_batch_variant("chargecache", entries=entries)
+               for entries in BATCH_CAPACITIES]
+            + [_batch_variant("chargecache", unbounded=True)])
+
+
+def _batch_trace(cfg: SimulationConfig):
+    org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
+    # Hot-row-set zipf: ChargeCache's motivating access pattern, and
+    # the shape (one workload, many table variants) of Figures 9-11.
+    return zipf_trace(org, 128 * 1024, 6.0, seed=7, alpha=1.8,
+                      write_fraction=0.2)
+
+
+def _result_payload(result) -> dict:
+    return dataclasses.asdict(dataclasses.replace(
+        result, config=None, rltl=None, reuse=None))
+
+
+def measure_batch(repeats: int = 3) -> dict:
+    """Median-of-N: 12-variant capacity sweep, serial vs run_batch.
+
+    Asserts every batched per-variant result is bit-identical to its
+    serial counterpart before reporting any timing.
+    """
+    configs = _batch_configs()
+    serial_times, batch_times = [], []
+    serial_results = batch_results = None
+    telemetry = {}
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        serial_results = [
+            System(cfg, [_batch_trace(cfg)]).run(max_mem_cycles=30_000_000)
+            for cfg in configs]
+        serial_times.append(time.perf_counter() - t0)
+
+        telemetry = {}
+        t0 = time.perf_counter()
+        batch_results = System.run_batch(
+            configs, [_batch_trace(configs[0])],
+            max_mem_cycles=30_000_000, telemetry=telemetry)
+        batch_times.append(time.perf_counter() - t0)
+
+    for expect, got in zip(serial_results, batch_results):
+        assert _result_payload(got) == _result_payload(expect), \
+            "batched variant diverged from its serial counterpart"
+        assert got.config == expect.config
+    serial_s = statistics.median(serial_times)
+    batch_s = statistics.median(batch_times)
+    return {
+        "variants": len(configs),
+        "serial": {"seconds": serial_s},
+        "batch": {"seconds": batch_s,
+                  "full_runs": telemetry.get("full_runs"),
+                  "collapsed": telemetry.get("collapsed")},
+        "speedup": serial_s / batch_s,
+    }
 
 
 def _report(workload: str, rows: dict) -> None:
@@ -91,6 +193,17 @@ def _report(workload: str, rows: dict) -> None:
               f"{r['seconds']:6.2f} s  ->  "
               f"{r['cycles_per_sec'] / 1e3:8.1f} kcycles/s")
     print(f"  event/dense: {rows['speedup']:.2f}x")
+
+
+def _report_batch(rows: dict) -> None:
+    batch = rows["batch"]
+    print(f"\nbatch ({rows['variants']} mechanism variants, "
+          f"one workload):")
+    print(f"  serial: {rows['serial']['seconds']:6.2f} s")
+    print(f"  batch : {batch['seconds']:6.2f} s  "
+          f"({batch['full_runs']} full runs, "
+          f"{batch['collapsed']} collapsed by decision replay)")
+    print(f"  serial/batch: {rows['speedup']:.2f}x")
 
 
 def test_idle_heavy_speedup(benchmark=None):
@@ -114,9 +227,41 @@ def test_memory_bound_no_regression(benchmark=None):
         f"memory-bound work (budget: 10%)")
 
 
-def main() -> int:
+def test_batch_speedup(benchmark=None):
+    rows = measure_batch()
+    _report_batch(rows)
+    if benchmark is not None:
+        benchmark.extra_info.update(rows)
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert rows["speedup"] >= 3.0, (
+        f"batched sweep only {rows['speedup']:.2f}x over serial "
+        f"(acceptance bar: 3x)")
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Engine and batch-evaluator throughput benchmark.")
+    parser.add_argument("--repeat", type=int, default=3, metavar="N",
+                        help="median-of-N timing (default 3)")
+    parser.add_argument("--json", nargs="?", const="BENCH_engine.json",
+                        default=None, metavar="PATH",
+                        help="write measurements as JSON "
+                             "(default path: BENCH_engine.json)")
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+    results = {"repeat": args.repeat}
     for workload in WORKLOADS:
-        _report(workload, measure(workload))
+        rows = measure(workload, repeats=args.repeat)
+        _report(workload, rows)
+        results[workload] = rows
+    rows = measure_batch(repeats=args.repeat)
+    _report_batch(rows)
+    results["batch"] = rows
+    if args.json:
+        with open(args.json, "w", encoding="ascii") as fh:
+            json.dump(results, fh, indent=2)
+        print(f"\nmeasurements written to {args.json}")
     return 0
 
 

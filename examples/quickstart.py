@@ -15,6 +15,13 @@ inline parameters like ``"chargecache(entries=256,duration_ms=0.5)"``,
 and ``+``-compositions like ``"chargecache+nuat"`` all work anywhere a
 mechanism is accepted.
 
+When you sweep *many* mechanism variants over one workload (the shape
+of the paper's Figures 9-11), don't loop this script: the harness CLI
+batches same-platform variants through one trace replay
+(``chargecache-harness fig9 --jobs 1``; on by default, ``--no-batch``
+to compare) and ``System.run_batch`` is the library-level entry point.
+Results are bit-identical to serial runs — see DESIGN.md section 8.
+
 Run:  python examples/quickstart.py
 """
 

@@ -142,6 +142,17 @@ class ChargeCache(LatencyMechanism):
     def valid_entries(self) -> int:
         return sum(len(table) for table in self.tables)
 
+    def fork_state(self) -> "ChargeCache":
+        """Fresh tables/invalidators under this instance's config.
+
+        ChargeCache decisions are a pure function of the per-channel
+        ACT/PRE event stream and the cycle numbers (the IIC/EC sweep in
+        :class:`~repro.core.invalidation.PeriodicInvalidator` is
+        batch-exact in the cycle), so a fork replayed against the same
+        event log reproduces the same hit/miss sequence.
+        """
+        return ChargeCache(self.timing, self.config, self.num_cores)
+
     def reset_stats(self) -> None:
         super().reset_stats()
         self.insertions = 0

@@ -40,6 +40,10 @@ class HCRAC:
         self._stamp: List[List[int]] = [
             [0] * associativity for _ in range(self.num_sets)]
         self._use_counter = 0
+        # Incremental valid-entry count: the hot paths (the event
+        # engine polls ``len(table)`` every wake computation) must not
+        # pay an O(entries) scan.
+        self._valid = 0
         # Statistics.
         self.insertions = 0
         self.evictions = 0
@@ -84,6 +88,8 @@ class HCRAC:
         if victim is None:
             victim = min(range(self.associativity), key=lambda w: stamps[w])
             self.evictions += 1
+        else:
+            self._valid += 1
         tags[victim] = tag
         stamps[victim] = self._use_counter
         self.insertions += 1
@@ -100,6 +106,7 @@ class HCRAC:
         if self._tags[set_idx][way] is None:
             return False
         self._tags[set_idx][way] = None
+        self._valid -= 1
         self.invalidations += 1
         return True
 
@@ -109,6 +116,7 @@ class HCRAC:
         for way in range(self.associativity):
             if self._tags[set_idx][way] == tag:
                 self._tags[set_idx][way] = None
+                self._valid -= 1
                 self.invalidations += 1
                 return True
         return False
@@ -117,12 +125,13 @@ class HCRAC:
         for set_idx in range(self.num_sets):
             for way in range(self.associativity):
                 self._tags[set_idx][way] = None
+        self._valid = 0
 
     # ------------------------------------------------------------------
 
     @property
     def valid_count(self) -> int:
-        return sum(1 for s in self._tags for t in s if t is not None)
+        return self._valid
 
     def __contains__(self, key: int) -> bool:
         return self.lookup(key, touch=False)

@@ -26,15 +26,19 @@ class LowLatencyDRAM(LatencyMechanism):
     def __init__(self, timing: TimingParameters,
                  config: Optional[ChargeCacheConfig] = None):
         super().__init__(timing)
-        config = config or ChargeCacheConfig()
-        self.hit_timings = timing.reduced_by(config.trcd_reduction_cycles,
-                                             config.tras_reduction_cycles)
+        self._config = config or ChargeCacheConfig()
+        self.hit_timings = timing.reduced_by(
+            self._config.trcd_reduction_cycles,
+            self._config.tras_reduction_cycles)
 
     def on_activate(self, rank: int, bank: int, row: int, core_id: int,
                     cycle: int) -> Optional[ReducedTimings]:
         self.lookups += 1
         self.hits += 1
         return self.hit_timings
+
+    def fork_state(self) -> "LowLatencyDRAM":
+        return LowLatencyDRAM(self.timing, self._config)
 
 
 #: Defaults mirrored from ChargeCacheConfig so a value that is an

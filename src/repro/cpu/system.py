@@ -28,7 +28,7 @@ Two clock engines share the per-cycle body (:meth:`System._step`):
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.config import SimulationConfig
@@ -117,6 +117,20 @@ class RunResult:
                 f"mechanism: {self.mechanism_hits}/{self.mechanism_lookups}"
                 f" activations accelerated ({self.mechanism_hit_rate:.0%})")
         return "\n".join(lines)
+
+
+def mechanism_invariant_config(config: SimulationConfig) -> SimulationConfig:
+    """``config`` with every mechanism-defining field normalized away.
+
+    Two configurations whose invariant forms are equal simulate the
+    identical system up to the latency mechanism's decisions — the
+    compatibility condition for sharing one trace replay in
+    :meth:`System.run_batch` (and for the harness's batch grouping).
+    """
+    from repro.config import ChargeCacheConfig, NUATConfig
+    return replace(config, mechanism="none",
+                   chargecache=ChargeCacheConfig(), nuat=NUATConfig(),
+                   temperature_c=85.0)
 
 
 class System:
@@ -234,9 +248,115 @@ class System:
         Dispatches to the engine named by ``config.engine``.
         """
         self._warmed = self.config.warmup_cpu_cycles == 0
+        # Engine-efficiency instrumentation (not part of RunResult, so
+        # cache keys and artifacts are unaffected): how many bus cycles
+        # the engine actually stepped.
+        self.visited_cycles = 0
         if self.config.engine == "dense":
             return self._run_dense(max_mem_cycles)
         return self._run_event(max_mem_cycles)
+
+    @classmethod
+    def run_batch(cls, configs: Sequence[SimulationConfig],
+                  traces: Sequence[Iterator[TraceRecord]],
+                  max_mem_cycles: Optional[int] = None,
+                  enable_rltl: bool = False,
+                  rltl_time_scale: float = 1.0,
+                  enable_reuse: bool = False,
+                  timing: Optional[TimingParameters] = None,
+                  telemetry: Optional[Dict] = None) -> List[RunResult]:
+        """Run N mechanism variants of one workload off one trace tape.
+
+        Every config must describe the *same* system except for its
+        latency mechanism (checked via
+        :func:`mechanism_invariant_config`); ``traces`` is consumed
+        once into a :class:`~repro.cpu.trace.TraceTape` that all
+        variants replay.  Each result is bit-identical to the variant's
+        standalone serial run — the contract the harness's run cache
+        depends on — via two complementary paths:
+
+        * **Full run**: the variant is simulated normally (sharing only
+          the trace tape), with a
+          :class:`~repro.core.replay.RecordingMechanism` logging its
+          decision stream.  Closed-loop timing feedback makes any
+          cross-variant computation sharing *after* the first diverging
+          mechanism decision unsound (a hit changes tRCD, the read
+          completes earlier, the core unblocks earlier, and every
+          downstream cycle shifts), so cycle 0 is the only state-fork
+          point — full runs share nothing downstream of the tape.
+        * **Decision-replay collapse**: before paying for a full run,
+          the variant's fresh mechanism state is replayed against every
+          witness log so far (:mod:`repro.core.replay`).  If its
+          decisions match some witness everywhere, its run would
+          retrace that witness's trajectory exactly, and the result is
+          the witness's with this variant's config attached.
+
+        Mechanisms whose decisions are not a pure function of the
+        event stream (``supports_decision_replay = False``, e.g. NUAT)
+        always take the full-run path.
+
+        Collapsed results share the witness's ``rltl``/``reuse`` probe
+        objects (their contents are identical by the argument above);
+        the scalar/list statistics are copied.
+
+        ``telemetry``, when given, receives ``{"full_runs": F,
+        "collapsed": C}`` for benchmarking and reporting.
+        """
+        configs = list(configs)
+        if not configs:
+            return []
+        invariant = mechanism_invariant_config(configs[0])
+        for cfg in configs[1:]:
+            if mechanism_invariant_config(cfg) != invariant:
+                raise ValueError(
+                    "batch variants must differ only in mechanism-"
+                    f"defining fields; {cfg.mechanism!r} variant "
+                    "changes the shared platform")
+        from repro.core.replay import (
+            MechanismEventLog,
+            RecordingMechanism,
+            replay_decisions_match,
+        )
+        from repro.cpu.trace import TraceTape
+
+        tape = TraceTape(traces)
+        witnesses: List = []  # (per-channel logs, RunResult)
+        results: List[RunResult] = []
+        full_runs = 0
+        for cfg in configs:
+            collapsed = None
+            if witnesses:
+                channels = cfg.dram.channels
+                mechanisms = _replay_mechanisms(cfg, channels, timing)
+                if mechanisms is not None:
+                    for logs, witness_result in witnesses:
+                        if replay_decisions_match(logs, mechanisms):
+                            collapsed = _clone_result(witness_result, cfg)
+                            break
+                        # A failed replay leaves the fork's state
+                        # dirty; later witnesses need a clean one.
+                        mechanisms = _replay_mechanisms(cfg, channels,
+                                                        timing)
+                        if mechanisms is None:  # pragma: no cover
+                            break
+            if collapsed is not None:
+                results.append(collapsed)
+                continue
+            system = cls(cfg, tape.readers(), enable_rltl=enable_rltl,
+                         rltl_time_scale=rltl_time_scale,
+                         enable_reuse=enable_reuse, timing=timing)
+            logs = [MechanismEventLog() for _ in system.controllers]
+            for controller, log in zip(system.controllers, logs):
+                controller.mechanism = RecordingMechanism(
+                    controller.mechanism, log)
+            result = system.run(max_mem_cycles=max_mem_cycles)
+            full_runs += 1
+            witnesses.append((logs, result))
+            results.append(result)
+        if telemetry is not None:
+            telemetry["full_runs"] = full_runs
+            telemetry["collapsed"] = len(configs) - full_runs
+        return results
 
     def _step(self, mem: int) -> bool:
         """The per-bus-cycle body shared by both engines.
@@ -288,6 +408,7 @@ class System:
         truncated = False
         while True:
             self.mem_cycle += 1
+            self.visited_cycles += 1
             all_finished = self._step(self.mem_cycle)
             if self._warmed and all_finished:
                 break
@@ -316,6 +437,7 @@ class System:
             if max_mem_cycles is not None and target > max_mem_cycles:
                 target = max_mem_cycles
             self.mem_cycle = max(target, self.mem_cycle + 1)
+            self.visited_cycles += 1
             all_finished = self._step(self.mem_cycle)
             if self._warmed and all_finished:
                 break
@@ -443,3 +565,47 @@ class System:
             rltl=self.rltl_probe,
             reuse=self.reuse_probe,
         )
+
+
+# ----------------------------------------------------------------------
+# Batch-evaluator helpers
+# ----------------------------------------------------------------------
+
+def _replay_mechanisms(config: SimulationConfig, channels: int,
+                       timing: Optional[TimingParameters]):
+    """Fresh per-channel mechanisms of ``config`` for decision replay.
+
+    Returns None when the configured mechanism cannot be replayed
+    (unsupported, or it demands per-channel context such as NUAT's
+    refresh scheduler) — the caller then runs the variant in full.
+    """
+    from repro.core.replay import fork_for_replay
+    if timing is None:
+        from repro.dram.standards import preset
+        timing = preset(config.dram.standard)
+    try:
+        prototype = registry.build(
+            config.mechanism,
+            registry.MechanismContext(
+                timing=timing, num_cores=config.processor.num_cores,
+                refresh_scheduler=None, config=config))
+    except ValueError:
+        return None
+    return fork_for_replay(prototype, channels)
+
+
+def _clone_result(witness: RunResult, config: SimulationConfig) -> RunResult:
+    """The witness's result re-labelled for a collapsed variant.
+
+    Mutable containers are copied so downstream consumers can never
+    alias two cached variants through one list/dict; the ``rltl`` and
+    ``reuse`` probe objects are shared deliberately (their contents are
+    identical for a collapsed variant, and they are excluded from the
+    cache codec's plain fields).
+    """
+    return replace(
+        witness, config=config,
+        instructions=list(witness.instructions),
+        core_cycles=list(witness.core_cycles),
+        ipcs=list(witness.ipcs),
+        extra=dict(witness.extra))

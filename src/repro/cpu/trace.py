@@ -53,6 +53,46 @@ def looped(trace: Sequence[TraceRecord]) -> Iterator[TraceRecord]:
     return itertools.cycle(trace)
 
 
+class TraceTape:
+    """Record-once, replay-many view over per-core trace iterators.
+
+    The batch evaluator replays one workload under N mechanism
+    variants; generating the synthetic traces N times would repeat the
+    RNG work and, worse, require keeping N generator states in sync.
+    A tape draws each record from the underlying source exactly once,
+    memoizes it, and hands out any number of independent readers.  The
+    tape extends lazily, so variants that consume different record
+    counts (a faster variant finishes the instruction budget with
+    fewer trace records in flight) each see exactly the records they
+    ask for, in the source's order.
+    """
+
+    def __init__(self, sources: Sequence[Iterator[TraceRecord]]):
+        self._sources = [iter(source) for source in sources]
+        self._records: List[List[TraceRecord]] = [[] for _ in sources]
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def reader(self, core_id: int) -> Iterator[TraceRecord]:
+        """A fresh iterator over core ``core_id``'s trace from the top."""
+        records = self._records[core_id]
+        source = self._sources[core_id]
+        i = 0
+        while True:
+            if i >= len(records):
+                try:
+                    records.append(next(source))
+                except StopIteration:
+                    return
+            yield records[i]
+            i += 1
+
+    def readers(self) -> List[Iterator[TraceRecord]]:
+        """One fresh reader per core, for a System's ``traces``."""
+        return [self.reader(core_id) for core_id in range(len(self))]
+
+
 # ----------------------------------------------------------------------
 # File I/O
 # ----------------------------------------------------------------------

@@ -123,6 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "processes (default: $REPRO_JOBS or 1 = "
                              "serial; 0 = one per CPU); results are "
                              "identical for every N")
+    parser.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="at --jobs 1, evaluate sweep points that "
+                             "differ only in mechanism parameters "
+                             "through one shared trace replay "
+                             "(bit-identical results, same cache keys; "
+                             "--no-batch forces one simulation per "
+                             "point)")
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="persistent run-cache directory (default: "
                              "$REPRO_CACHE_DIR or "
@@ -219,6 +227,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     execution = ExecutionConfig(jobs=args.jobs, cache_dir=args.cache_dir,
                                 use_run_cache=not args.no_cache)
     apply_execution_config(execution)
+    pool.set_batching(args.batch)
     experiments.set_default_jobs(args.jobs)
     experiments.set_progress(pool.stderr_progress if args.progress
                              else None)

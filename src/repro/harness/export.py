@@ -71,8 +71,11 @@ def export_cache_manifest(results: Dict[str, Dict]) -> str:
     One row per sweep point of every experiment that carries a
     ``"cache"`` annotation: which point it was, whether it was served
     from the persistent cache ("disk"), the in-process memo
-    ("memory"), or simulated fresh ("computed").  Returns "" when no
-    experiment was annotated (e.g. table1/table2/fig6 only).
+    ("memory"), or simulated fresh ("computed"), which engine ran it,
+    and the batch group (points computed through one shared
+    ``System.run_batch`` trace replay share a group id; "" for points
+    that ran alone or were cache hits).  Returns "" when no experiment
+    was annotated (e.g. table1/table2/fig6 only).
     """
     rows = []
     for name, result in results.items():
@@ -86,6 +89,8 @@ def export_cache_manifest(results: Dict[str, Dict]) -> str:
                 "source": point["source"],
                 "cache_hit": point["source"] != "computed",
                 "cache_key": point.get("key", ""),
+                "engine": point.get("engine", ""),
+                "batch_group": point.get("batch_group", ""),
             })
     return rows_to_csv(rows)
 

@@ -27,6 +27,7 @@ environment variable, else 1 (serial).  ``0`` means one worker per CPU.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import sys
 import time
@@ -36,10 +37,20 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.cpu.system import RunResult
 from repro.harness import cache as run_cache
 from repro.harness import runner
-from repro.harness.spec import RunSpec, dedupe_specs
+from repro.harness.spec import RunSpec, batch_signature, dedupe_specs
 
 #: Environment variable supplying the default pool width.
 JOBS_ENV = "REPRO_JOBS"
+
+#: Process-wide default for batched sweep execution; the CLI's
+#: ``--no-batch`` flips it via :func:`set_batching`.
+default_batching: bool = True
+
+
+def set_batching(enabled: bool) -> None:
+    """Enable/disable batched multi-variant execution process-wide."""
+    global default_batching
+    default_batching = enabled
 
 
 @dataclass(frozen=True)
@@ -51,6 +62,11 @@ class SweepPoint:
     #: "memory" | "disk" | "computed" — which layer served the run.
     source: str
     seconds: float = 0.0
+    #: Short id of the batch group this point was computed in, or None
+    #: when it ran on its own (cache hits and serial runs).  Points
+    #: sharing an id shared one trace replay through
+    #: ``System.run_batch``; the id never feeds cache keys.
+    batch_group: Optional[str] = None
 
     @property
     def cached(self) -> bool:
@@ -88,9 +104,11 @@ class Sweep:
     def counts(self) -> Dict[str, int]:
         unique = self._unique_points()
         counts = {"points": len(unique), "memory": 0, "disk": 0,
-                  "computed": 0}
+                  "computed": 0, "batched": 0}
         for point in unique:
             counts[point.source] += 1
+            if point.batch_group is not None:
+                counts["batched"] += 1
         return counts
 
     def annotation(self) -> Dict:
@@ -99,13 +117,17 @@ class Sweep:
         Each point also records its content-addressed cache key so
         provenance exports (cache_manifest.csv) can be joined against
         the cache directory — e.g. to assert that a cold ``all`` run
-        executed every distinct key exactly once.
+        executed every distinct key exactly once — plus its engine and
+        batch-group id (multi-variant points computed through one
+        shared trace replay share an id).
         """
         info = self.counts()
         info["jobs"] = self.jobs
         info["points_detail"] = [
             {"label": p.spec.label(), "source": p.source,
-             "key": run_cache.cache_key(p.spec)}
+             "key": run_cache.cache_key(p.spec),
+             "engine": p.spec.engine,
+             "batch_group": p.batch_group or ""}
             for p in self._unique_points()]
         return info
 
@@ -146,14 +168,25 @@ ProgressFn = Callable[[int, int, SweepPoint], None]
 
 def execute_sweep(specs: Sequence[RunSpec],
                   jobs: Optional[int] = None,
-                  progress: Optional[ProgressFn] = None) -> Sweep:
+                  progress: Optional[ProgressFn] = None,
+                  batch: Optional[bool] = None) -> Sweep:
     """Execute every spec, fanning out over processes when jobs > 1.
 
     Duplicate specs are computed once; the returned sweep always has
     one point per input spec, in input order.
+
+    At ``jobs == 1``, specs that differ only in their mechanism fields
+    (same :func:`~repro.harness.spec.batch_signature`) are routed
+    through one batched trace replay (``System.run_batch``) instead of
+    N independent simulations — bit-identical results, cached under
+    each spec's own key.  ``batch`` overrides the process-wide default
+    (:func:`set_batching`); parallel sweeps ignore it, since the pool
+    already overlaps the runs that batching would share.
     """
     specs = list(specs)
     jobs = resolve_jobs(jobs)
+    if batch is None:
+        batch = default_batching
     unique = dedupe_specs(specs)
     by_spec: Dict[RunSpec, SweepPoint] = {}
     total = len(unique)
@@ -187,10 +220,45 @@ def execute_sweep(specs: Sequence[RunSpec],
     if pending:
         if jobs > 1 and len(pending) > 1:
             _run_parallel(pending, min(jobs, len(pending)), record)
+        elif batch:
+            _run_grouped(pending, record)
         else:
             _run_serial(pending, record)
 
     return Sweep([by_spec[spec] for spec in specs], jobs)
+
+
+def _run_grouped(pending: Sequence[RunSpec],
+                 record: Callable[[SweepPoint], None]) -> None:
+    """Serial execution with same-platform variants batched.
+
+    Groups keep first-seen order, and specs inside a group keep input
+    order, so progress output stays deterministic.  A group of one is
+    just a serial run; a group the runner rejects (mechanisms that
+    resolve to incompatible platforms despite matching signatures)
+    falls back to serial rather than failing the sweep.
+    """
+    groups: Dict[str, List[RunSpec]] = {}
+    for spec in pending:
+        groups.setdefault(batch_signature(spec), []).append(spec)
+    for signature, group in groups.items():
+        if len(group) == 1:
+            _run_serial(group, record)
+            continue
+        gid = hashlib.sha256(signature.encode("ascii")).hexdigest()[:12]
+        started = time.perf_counter()
+        try:
+            results = runner.run_spec_batch(group)
+        except runner.BatchIncompatible:
+            _run_serial(group, record)
+            continue
+        except Exception as exc:
+            raise SweepError(group[0], exc) from exc
+        # Wall-clock is shared; report each point's amortized share.
+        share = (time.perf_counter() - started) / len(group)
+        for spec, result in zip(group, results):
+            record(SweepPoint(spec, result, "computed", share,
+                              batch_group=gid))
 
 
 def _run_serial(pending: Sequence[RunSpec],

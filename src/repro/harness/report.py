@@ -52,9 +52,11 @@ def render_cache_annotation(info: Optional[Dict]) -> str:
     if not info:
         return ""
     cached = info.get("disk", 0) + info.get("memory", 0)
+    batched = info.get("batched", 0)
+    batch_note = f" ({batched} batched)" if batched else ""
     return (f"[run cache: {cached}/{info['points']} points were hits "
             f"({info.get('disk', 0)} disk, {info.get('memory', 0)} "
-            f"memo); {info.get('computed', 0)} simulated, "
+            f"memo); {info.get('computed', 0)} simulated{batch_note}, "
             f"jobs={info.get('jobs', 1)}]")
 
 

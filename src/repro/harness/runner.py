@@ -354,12 +354,11 @@ def run_spec(spec: RunSpec) -> RunResult:
     return run_spec_ex(spec)[0]
 
 
-def _execute_spec(spec: RunSpec) -> RunResult:
-    """Actually simulate one spec (no caching)."""
+def _spec_config(spec: RunSpec) -> SimulationConfig:
+    """The :class:`SimulationConfig` one spec resolves to."""
     scale = spec.scale
     if spec.kind == "scenario":
         from repro.harness import scenarios
-        scen = scenarios.scenario(spec.scenario)
         cfg = scenarios.scenario_config(
             spec.scenario, spec.mechanism, scale,
             cc_entries=spec.cc_entries,
@@ -369,43 +368,116 @@ def _execute_spec(spec: RunSpec) -> RunResult:
         if spec.row_policy is not None:
             cfg = replace(cfg, controller=replace(
                 cfg.controller, row_policy=spec.row_policy))
-        if spec.idle_finished:
-            cfg = replace(cfg, idle_finished_cores=True)
-        org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
-        traces = scenarios.scenario_traces(scen, spec.name, org,
-                                           seed=spec.seed)
-        system = System(cfg, traces,
-                        enable_rltl=spec.enable_rltl,
-                        rltl_time_scale=scale.time_scale)
-        return system.run(max_mem_cycles=scale.max_mem_cycles)
-    if spec.kind == "alone":
+    elif spec.kind == "alone":
         cfg = eight_core_config("none")
         cfg = replace(cfg,
                       processor=replace(cfg.processor, num_cores=1),
                       instruction_limit=scale.multi_core_instructions,
                       warmup_cpu_cycles=scale.warmup_cpu_cycles,
                       engine=spec.engine)
-        org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
-        system = System(cfg, [make_trace(spec.name, org, seed=spec.seed)])
-        return system.run(max_mem_cycles=scale.max_mem_cycles)
-
-    cfg = build_config(spec.kind, spec.mechanism, scale,
-                       cc_entries=spec.cc_entries,
-                       cc_duration_ms=spec.cc_duration_ms,
-                       cc_unbounded=spec.cc_unbounded,
-                       row_policy=spec.row_policy,
-                       engine=spec.engine)
-    if spec.idle_finished:
-        cfg = replace(cfg, idle_finished_cores=True)
-    org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
-    if spec.kind == "single":
-        traces = [make_trace(spec.name, org, seed=spec.seed)]
     else:
-        traces = make_mix_traces(spec.name, org, seed=spec.seed)
-    system = System(cfg, traces,
-                    enable_rltl=spec.enable_rltl,
-                    rltl_time_scale=scale.time_scale)
-    return system.run(max_mem_cycles=scale.max_mem_cycles)
+        cfg = build_config(spec.kind, spec.mechanism, scale,
+                           cc_entries=spec.cc_entries,
+                           cc_duration_ms=spec.cc_duration_ms,
+                           cc_unbounded=spec.cc_unbounded,
+                           row_policy=spec.row_policy,
+                           engine=spec.engine)
+    if spec.idle_finished and spec.kind != "alone":
+        cfg = replace(cfg, idle_finished_cores=True)
+    return cfg
+
+
+def _spec_traces(spec: RunSpec, cfg: SimulationConfig) -> list:
+    """The per-core trace iterators one spec simulates.
+
+    Traces depend only on the spec's non-mechanism fields (workload
+    name, seed, scenario, DRAM organization), so every member of a
+    batch group — same :func:`~repro.harness.spec.batch_signature` —
+    produces the identical trace set; the batch path builds it once
+    from the group's first spec.
+    """
+    org = Organization.from_config(cfg.dram, cfg.cache.line_bytes)
+    if spec.kind == "scenario":
+        from repro.harness import scenarios
+        scen = scenarios.scenario(spec.scenario)
+        return scenarios.scenario_traces(scen, spec.name, org,
+                                         seed=spec.seed)
+    if spec.kind in ("alone", "single"):
+        return [make_trace(spec.name, org, seed=spec.seed)]
+    return make_mix_traces(spec.name, org, seed=spec.seed)
+
+
+def _spec_rltl(spec: RunSpec) -> Tuple[bool, float]:
+    """(enable_rltl, rltl_time_scale) exactly as each kind always ran:
+    alone runs never attach the probe and keep System's default
+    time-scale, so refactoring must not silently change their keys'
+    results."""
+    if spec.kind == "alone":
+        return False, 1.0
+    return spec.enable_rltl, spec.scale.time_scale
+
+
+def _execute_spec(spec: RunSpec) -> RunResult:
+    """Actually simulate one spec (no caching)."""
+    cfg = _spec_config(spec)
+    enable_rltl, rltl_time_scale = _spec_rltl(spec)
+    system = System(cfg, _spec_traces(spec, cfg),
+                    enable_rltl=enable_rltl,
+                    rltl_time_scale=rltl_time_scale)
+    return system.run(max_mem_cycles=spec.scale.max_mem_cycles)
+
+
+class BatchIncompatible(ValueError):
+    """A spec group cannot share one batched trace replay."""
+
+
+def run_spec_batch(specs: Iterable[RunSpec],
+                   telemetry: Optional[Dict] = None) -> List[RunResult]:
+    """Simulate a batch group through one shared trace replay.
+
+    Every spec must share one :func:`~repro.harness.spec.batch_signature`
+    (same workload, seed, scale, engine, platform — different mechanism
+    knobs only); otherwise :class:`BatchIncompatible` is raised before
+    any simulation starts, and the caller falls back to serial
+    execution.  Results are bit-identical to :func:`run_spec` on each
+    spec individually (enforced by ``System.run_batch``'s decision-
+    replay contract) and are installed into both cache layers under
+    each spec's own, unchanged cache key — a later serial run of any
+    member is a plain cache hit.
+    """
+    from repro.harness.spec import batch_signature
+    specs = list(specs)
+    if not specs:
+        return []
+    signature = batch_signature(specs[0])
+    for spec in specs[1:]:
+        if batch_signature(spec) != signature:
+            raise BatchIncompatible(
+                f"specs {specs[0].label()!r} and {spec.label()!r} "
+                "differ outside their mechanism fields")
+    configs = [_spec_config(spec) for spec in specs]
+    enable_rltl, rltl_time_scale = _spec_rltl(specs[0])
+    try:
+        results = System.run_batch(
+            configs, _spec_traces(specs[0], configs[0]),
+            max_mem_cycles=specs[0].scale.max_mem_cycles,
+            enable_rltl=enable_rltl,
+            rltl_time_scale=rltl_time_scale,
+            telemetry=telemetry)
+    except ValueError as exc:
+        # The signature check above should make this unreachable; keep
+        # run_batch's own platform guard surfaced as the same
+        # fall-back-to-serial signal rather than a sweep failure.
+        raise BatchIncompatible(str(exc)) from exc
+    disk = active_disk_cache()
+    for spec, result in zip(specs, results):
+        _run_cache[spec] = result
+        if disk is not None:
+            try:
+                disk.put(run_cache.cache_key(spec), spec, result)
+            except Exception:
+                pass
+    return results
 
 
 # ----------------------------------------------------------------------

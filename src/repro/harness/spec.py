@@ -23,6 +23,7 @@ different experiments and must never share a cache entry.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Optional
@@ -181,6 +182,32 @@ class RunSpec:
         if self.seed != 1:
             parts.append(f"s{self.seed}")
         return ":".join(parts)
+
+
+#: RunSpec fields that select or parameterize the latency mechanism.
+#: Two specs that agree on everything *except* these describe the same
+#: platform, workload, seed, scale and engine — exactly the condition
+#: under which the batch evaluator
+#: (:meth:`repro.cpu.system.System.run_batch`) may evaluate them
+#: against one shared trace replay.
+MECHANISM_FIELDS = ("mechanism", "cc_entries", "cc_duration_ms",
+                    "cc_unbounded")
+
+
+def batch_signature(spec: RunSpec) -> str:
+    """Canonical JSON of every *non-mechanism* field of ``spec``.
+
+    Built from the same :meth:`RunSpec.key_payload` that cache keys
+    hash, minus :data:`MECHANISM_FIELDS` — so two specs share a batch
+    signature iff their cache keys agree on every non-mechanism field.
+    The sweep executor groups specs by this string; any new RunSpec
+    field automatically lands in the signature (and therefore splits
+    groups), which is the safe failure mode.
+    """
+    payload = spec.key_payload()
+    for name in MECHANISM_FIELDS:
+        payload.pop(name)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 def dedupe_specs(specs) -> list:

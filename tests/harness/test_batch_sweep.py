@@ -1,0 +1,170 @@
+"""Batch-vs-serial sweep equivalence and grouping safety.
+
+Satellite guarantees for the batched sweep path:
+
+* a randomized property test — sampled (platform x mechanism-spec)
+  grids must produce byte-identical results and identical persistent
+  cache contents whether executed batched or one-at-a-time;
+* a grouping guard — :func:`~repro.harness.spec.batch_signature` may
+  only merge specs whose cache keys agree on every non-mechanism
+  field, so batching can never alias two distinct platform/workload
+  cache entries.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.harness import cache as run_cache
+from repro.harness import pool, runner
+from repro.harness.cache import cache_key, result_to_json
+from repro.harness.pool import execute_sweep
+from repro.harness.spec import (
+    MECHANISM_FIELDS,
+    RunSpec,
+    Scale,
+    batch_signature,
+)
+
+TINY = Scale(single_core_instructions=1500, multi_core_instructions=1000,
+             warmup_cpu_cycles=1000, max_mem_cycles=300_000)
+
+
+@pytest.fixture(autouse=True)
+def _fresh(tmp_path):
+    prev = (runner._disk_enabled, runner._disk_dir)
+    runner.clear_memo()
+    runner.configure_disk_cache(str(tmp_path / "cache"))
+    yield
+    runner.clear_memo()
+    runner.configure_disk_cache(prev[1], enabled=prev[0])
+
+
+#: Mechanism axes sampled by the property test: registry spec strings
+#: paired with the cc_* shorthand knobs, mixing replay-collapsible
+#: mechanisms, the replay-excluded one (nuat), and compositions.
+MECHANISM_AXIS = [
+    ("none", {}),
+    ("chargecache", {}),
+    ("chargecache", {"cc_entries": 64}),
+    ("chargecache", {"cc_entries": 512}),
+    ("chargecache", {"cc_unbounded": True}),
+    ("lldram", {}),
+    ("nuat", {}),
+    ("chargecache+nuat", {}),
+]
+
+#: Platform axes: (kind, name, scenario, extra spec fields).
+PLATFORM_AXIS = [
+    ("single", "hmmer", None, {}),
+    ("single", "libquantum", None, {"seed": 2}),
+    ("single", "mcf", None, {"row_policy": "closed"}),
+    ("eight", "w1", None, {}),
+]
+
+
+def _sampled_sweep(rng: random.Random, points: int):
+    specs = []
+    for _ in range(points):
+        kind, name, scenario, extra = rng.choice(PLATFORM_AXIS)
+        mechanism, cc = rng.choice(MECHANISM_AXIS)
+        specs.append(RunSpec(kind=kind, name=name, mechanism=mechanism,
+                             scale=TINY, engine="event",
+                             scenario=scenario, **extra, **cc))
+    return specs
+
+
+@pytest.mark.parametrize("seed", (0, 1))
+def test_batched_sweep_is_bit_identical_to_serial(seed, tmp_path):
+    specs = _sampled_sweep(random.Random(seed), points=10)
+
+    runner.configure_disk_cache(str(tmp_path / "batched"))
+    batched = execute_sweep(specs, jobs=1, batch=True)
+    batched_keys = set(runner.active_disk_cache().keys())
+
+    runner.clear_memo()
+    runner.configure_disk_cache(str(tmp_path / "serial"))
+    serial = execute_sweep(specs, jobs=1, batch=False)
+    serial_keys = set(runner.active_disk_cache().keys())
+
+    assert [p.spec for p in batched.points] == specs
+    for b, s in zip(batched.points, serial.points):
+        assert result_to_json(b.result) == result_to_json(s.result), \
+            b.spec.label()
+    # Both paths persist under exactly the same content-addressed keys.
+    assert batched_keys == serial_keys
+    assert all(p.batch_group is None for p in serial.points)
+
+
+def test_batched_points_warm_a_serial_rerun():
+    specs = [RunSpec(kind="single", name="hmmer", mechanism=mech,
+                     scale=TINY, engine="event", cc_entries=entries)
+             for mech, entries in (("none", None), ("chargecache", 64),
+                                   ("chargecache", 256))]
+    batched = execute_sweep(specs, jobs=1, batch=True)
+    assert batched.counts()["batched"] == 3
+    runner.clear_memo()  # fresh process, same persistent cache
+    warm = execute_sweep(specs, jobs=1, batch=True)
+    assert all(p.source == "disk" for p in warm.points)
+    assert warm.counts()["batched"] == 0
+
+
+class TestGroupingGuard:
+    BASE = dict(kind="single", name="hmmer", scale=TINY, engine="event")
+
+    def test_mechanism_fields_do_not_split_groups(self):
+        a = RunSpec(mechanism="none", **self.BASE)
+        b = RunSpec(mechanism="chargecache", cc_entries=64,
+                    cc_duration_ms=4.0, cc_unbounded=False, **self.BASE)
+        assert batch_signature(a) == batch_signature(b)
+        assert cache_key(a) != cache_key(b)
+
+    @pytest.mark.parametrize("field,value", [
+        ("name", "mcf"),
+        ("seed", 9),
+        ("engine", "dense"),
+        ("row_policy", "closed"),
+        ("idle_finished", True),
+        ("enable_rltl", True),
+    ])
+    def test_non_mechanism_fields_split_groups(self, field, value):
+        a = RunSpec(mechanism="chargecache", **self.BASE)
+        b = RunSpec(mechanism="chargecache",
+                    **{**self.BASE, field: value})
+        assert batch_signature(a) != batch_signature(b)
+
+    def test_signature_covers_every_non_mechanism_key_field(self):
+        """Batch grouping never merges specs whose cache keys differ
+        on non-mechanism fields — structurally: the signature is the
+        cache key's own payload minus exactly MECHANISM_FIELDS."""
+        spec = RunSpec(mechanism="chargecache", **self.BASE)
+        payload = spec.key_payload()
+        signature_fields = set(json.loads(batch_signature(spec)))
+        assert signature_fields == set(payload) - set(MECHANISM_FIELDS)
+
+    def test_runner_rejects_mixed_groups(self):
+        a = RunSpec(mechanism="none", **self.BASE)
+        b = RunSpec(mechanism="chargecache",
+                    **{**self.BASE, "name": "mcf"})
+        with pytest.raises(runner.BatchIncompatible):
+            runner.run_spec_batch([a, b])
+
+    def test_pool_never_groups_across_signatures(self):
+        specs = [
+            RunSpec(mechanism="none", **self.BASE),
+            RunSpec(mechanism="chargecache", **self.BASE),
+            RunSpec(mechanism="none", **{**self.BASE, "name": "mcf"}),
+            RunSpec(mechanism="chargecache",
+                    **{**self.BASE, "name": "mcf"}),
+        ]
+        sweep = execute_sweep(specs, jobs=1, batch=True)
+        groups = {}
+        for point in sweep.points:
+            groups.setdefault(point.batch_group, []).append(point.spec)
+        assert len(groups) == 2
+        for members in groups.values():
+            signatures = {batch_signature(s) for s in members}
+            assert len(signatures) == 1

@@ -81,9 +81,12 @@ class TestCacheManifest:
                            "computed": 1, "jobs": 2,
                            "points_detail": [
                                {"label": "single:mcf:chargecache",
-                                "source": "disk", "key": "aa" * 32},
+                                "source": "disk", "key": "aa" * 32,
+                                "engine": "event", "batch_group": ""},
                                {"label": "single:mcf:none",
-                                "source": "computed", "key": "bb" * 32}]}},
+                                "source": "computed", "key": "bb" * 32,
+                                "engine": "event",
+                                "batch_group": "deadbeef0123"}]}},
         "table2": {"id": "table2", "rows": []},  # not annotated
     }
 
@@ -91,11 +94,11 @@ class TestCacheManifest:
         rows = list(csv.reader(io.StringIO(
             export_cache_manifest(self.RESULTS))))
         assert rows[0] == ["experiment", "point", "source", "cache_hit",
-                           "cache_key"]
+                           "cache_key", "engine", "batch_group"]
         assert rows[1] == ["fig9", "single:mcf:chargecache", "disk",
-                           "True", "aa" * 32]
+                           "True", "aa" * 32, "event", ""]
         assert rows[2] == ["fig9", "single:mcf:none", "computed",
-                           "False", "bb" * 32]
+                           "False", "bb" * 32, "event", "deadbeef0123"]
         assert len(rows) == 3  # table2 contributes nothing
 
     def test_empty_when_nothing_annotated(self):
