@@ -126,6 +126,26 @@ def code_fingerprint() -> str:
     return _fingerprint_cache
 
 
+def _fsync_directory(path: str) -> None:
+    """Best-effort fsync of a directory (persists a just-done rename).
+
+    Not every platform/filesystem allows opening a directory for
+    fsync; failing to harden the rename is acceptable (the envelope
+    itself is already synced), so all errors are swallowed.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(path, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def cache_key(spec: RunSpec, fingerprint: Optional[str] = None) -> str:
     """Stable content hash naming ``spec``'s result file.
 
@@ -351,7 +371,16 @@ class RunCache:
         try:
             with os.fdopen(fd, "w", encoding="ascii") as fh:
                 json.dump(envelope, fh)
+                # Durability before visibility: os.replace is atomic
+                # for readers, but without an fsync a crash/power-loss
+                # can persist the rename while the data blocks are
+                # still unwritten — a silently truncated envelope at
+                # the final path.  Sync the temp file before it can be
+                # renamed into place.
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
+            _fsync_directory(self.root)
         except Exception:
             # Also covers json TypeError on an unserialisable result:
             # never leave a stray temp file behind.
@@ -365,6 +394,33 @@ class RunCache:
 
     def contains(self, key: str) -> bool:
         return os.path.exists(self.path_for(key))
+
+    def _directory_now(self) -> float:
+        """"Now" according to the cache directory's own clock.
+
+        The ``.tmp`` orphan sweep ages files by mtime, but mtimes are
+        stamped by the *filesystem serving the directory* — on an
+        NFS-mounted cache dir (exactly the shared-backend setup) the
+        server's clock can be arbitrarily skewed from this host's
+        ``time.time()``, making fresh in-flight temps look hours old
+        (or orphans look forever young).  Touching a probe file and
+        reading its mtime back samples the same clock that stamped
+        every other file, so age comparisons stay meaningful under any
+        skew.  Falls back to ``time.time()`` if the directory is not
+        writable.
+        """
+        try:
+            fd, probe = tempfile.mkstemp(dir=self.root, suffix=".clock")
+            try:
+                os.close(fd)
+                return os.stat(probe).st_mtime
+            finally:
+                try:
+                    os.unlink(probe)
+                except OSError:
+                    pass
+        except OSError:
+            return time.time()
 
     def gc(self, fingerprint: Optional[str] = None,
            dry_run: bool = False) -> GCReport:
@@ -418,7 +474,10 @@ class RunCache:
             names = os.listdir(self.root)
         except OSError:
             names = []
-        cutoff = time.time() - TMP_SWEEP_AGE_S
+        # Age against the directory's own clock, not this host's: see
+        # _directory_now (NFS-grade clock skew must not sweep a live
+        # writer's temp or immortalize a crashed one).
+        cutoff = self._directory_now() - TMP_SWEEP_AGE_S
         for name in sorted(names):
             if not name.endswith(".tmp"):
                 continue

@@ -20,6 +20,16 @@ Examples::
     chargecache-harness cache gc --dry-run
     chargecache-harness cache gc --cache-dir /tmp/cc
 
+    # Simulation as a service (DESIGN.md section 9): a daemon sharing
+    # one results store across every client; resubmitted specs are
+    # answered from SQLite/cache without simulating.
+    chargecache-harness serve --port 8023 --import-cache
+    chargecache-harness submit --url http://127.0.0.1:8023 \\
+        --workloads libquantum mcf --mechanisms none chargecache
+    chargecache-harness query --url http://127.0.0.1:8023 \\
+        --mechanism chargecache --standard DDR3-1600
+    chargecache-harness query --db ~/.cache/chargecache-repro/results.sqlite
+
 The ``all`` command first collects every experiment's declared sweep,
 dedupes it, and executes the union through one shared process pool
 (DESIGN.md section 5), so each distinct run is simulated at most once
@@ -125,10 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "identical for every N")
     parser.add_argument("--batch", action=argparse.BooleanOptionalAction,
                         default=True,
-                        help="at --jobs 1, evaluate sweep points that "
-                             "differ only in mechanism parameters "
-                             "through one shared trace replay "
-                             "(bit-identical results, same cache keys; "
+                        help="evaluate sweep points that differ only "
+                             "in mechanism parameters through one "
+                             "shared trace replay (bit-identical "
+                             "results, same cache keys; at --jobs N "
+                             "each batch group is one pool work unit; "
                              "--no-batch forces one simulation per "
                              "point)")
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
@@ -201,10 +212,224 @@ def _cache_main(argv: List[str]) -> int:
     return 0
 
 
+def _default_db_path() -> str:
+    from repro.harness.cache import default_cache_dir
+    import os
+    return os.path.join(default_cache_dir(), "results.sqlite")
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chargecache-harness serve",
+        description="Run the simulation service daemon: an HTTP run "
+                    "queue over the shared sweep pool, recording "
+                    "results to the content-addressed cache AND a "
+                    "locked SQLite results database (DESIGN.md "
+                    "section 9).")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8023)
+    parser.add_argument("--db", metavar="PATH", default=None,
+                        help="SQLite results database (default: "
+                             "results.sqlite in the cache directory)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="persistent run-cache directory bound "
+                             "for the whole daemon process")
+    parser.add_argument("--jobs", "-j", type=_jobs_arg, default=None,
+                        metavar="N",
+                        help="default pool width for submitted jobs")
+    parser.add_argument("--import-cache", action="store_true",
+                        help="backfill the database from every "
+                             "readable envelope already in the cache "
+                             "directory before serving")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log one line per HTTP request")
+    return parser
+
+
+def _serve_main(argv: List[str]) -> int:
+    args = build_serve_parser().parse_args(argv)
+    from repro.service.api import serve
+    serve(database=args.db or _default_db_path(),
+          cache_dir=args.cache_dir, host=args.host, port=args.port,
+          jobs=args.jobs, import_cache=args.import_cache,
+          quiet=not args.verbose)
+    return 0
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chargecache-harness submit",
+        description="Submit runs to a serving daemon; prints the "
+                    "final job snapshot (specs already in the "
+                    "service's database or cache are answered without "
+                    "simulating).")
+    parser.add_argument("--url", default="http://127.0.0.1:8023",
+                        help="service endpoint (default %(default)s)")
+    parser.add_argument("--kind", choices=("single", "eight", "alone",
+                                           "scenario"),
+                        default="single")
+    parser.add_argument("--scenario", default=None,
+                        help="scenario name (kind=scenario only)")
+    parser.add_argument("--workloads", nargs="+", required=True,
+                        metavar="NAME",
+                        help="workload/mix names; crossed with "
+                             "--mechanisms into one sweep")
+    parser.add_argument("--mechanisms", nargs="+", default=["none"],
+                        metavar="SPEC",
+                        help="mechanism specs (registry grammar)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--scale", type=float, default=None,
+                        help="instruction-budget multiplier")
+    parser.add_argument("--engine", choices=list(ENGINES), default=None)
+    parser.add_argument("--jobs", "-j", type=_jobs_arg, default=None,
+                        metavar="N", help="pool width for this job")
+    parser.add_argument("--no-wait", action="store_true",
+                        help="return the job id immediately instead "
+                             "of blocking until it finishes")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        metavar="S", help="wait budget in seconds")
+    return parser
+
+
+def _submit_specs(args) -> List:
+    """Build the spec cross-product a ``submit`` invocation names."""
+    from repro.harness import runner as run
+    scale = current_scale()
+    if args.scale:
+        scale = scale.scaled(args.scale)
+    specs = []
+    for name in args.workloads:
+        for mechanism in args.mechanisms:
+            if args.kind == "single":
+                spec = run.workload_spec(name, mechanism, scale,
+                                         seed=args.seed,
+                                         engine=args.engine)
+            elif args.kind == "eight":
+                spec = run.mix_spec(name, mechanism, scale,
+                                    seed=args.seed, engine=args.engine)
+            elif args.kind == "alone":
+                spec = run.alone_spec(name, scale, seed=args.seed,
+                                      engine=args.engine)
+            else:
+                if not args.scenario:
+                    raise ValueError(
+                        "--kind scenario requires --scenario")
+                spec = run.scenario_spec(args.scenario, name, mechanism,
+                                         scale, seed=args.seed,
+                                         engine=args.engine)
+            specs.append(spec)
+    return specs
+
+
+def _submit_main(argv: List[str]) -> int:
+    parser = build_submit_parser()
+    args = parser.parse_args(argv)
+    try:
+        specs = _submit_specs(args)
+    except ValueError as exc:
+        parser.error(str(exc))
+    from repro.service.client import ServiceClient, ServiceError
+    client = ServiceClient(args.url)
+    try:
+        snapshot = client.submit(specs, jobs=args.jobs,
+                                 wait=not args.no_wait,
+                                 timeout_s=args.timeout)
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(snapshot, indent=2))
+    counts = snapshot.get("counts", {})
+    if counts:
+        print(f"{snapshot['job']}: {snapshot['state']} — "
+              f"{counts.get('points', len(specs))} point(s), "
+              f"{counts.get('computed', '?')} simulated, "
+              f"{counts.get('served', '?')} served from store",
+              file=sys.stderr)
+    return 0 if snapshot.get("state") != "failed" else 1
+
+
+def build_query_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chargecache-harness query",
+        description="Query stored results — over HTTP from a daemon "
+                    "(--url) or straight from a local SQLite store "
+                    "(--db); prints a run table.")
+    parser.add_argument("--url", default=None,
+                        help="service endpoint (mutually exclusive "
+                             "with --db)")
+    parser.add_argument("--db", metavar="PATH", default=None,
+                        help="local results database (default: "
+                             "results.sqlite in the cache directory "
+                             "when --url is not given)")
+    for axis in ("scenario", "mechanism", "standard", "kind", "name",
+                 "engine"):
+        parser.add_argument(f"--{axis}", default=None)
+    parser.add_argument("--status", default="done",
+                        help="row status filter: done (default), "
+                             "pending, or any")
+    parser.add_argument("--limit", type=int, default=None)
+    parser.add_argument("--json", action="store_true",
+                        help="emit the raw table as JSON instead of "
+                             "rendering it")
+    return parser
+
+
+def _query_main(argv: List[str]) -> int:
+    parser = build_query_parser()
+    args = parser.parse_args(argv)
+    if args.url and args.db:
+        parser.error("--url and --db are mutually exclusive")
+    filters = {axis: getattr(args, axis)
+               for axis in ("scenario", "mechanism", "standard", "kind",
+                            "name", "engine")}
+    filters["limit"] = args.limit
+    if args.url:
+        from repro.service.client import ServiceClient, ServiceError
+        try:
+            table = ServiceClient(args.url).query(
+                status=args.status, **filters)
+        except ServiceError as exc:
+            print(f"query failed: {exc}", file=sys.stderr)
+            return 1
+    else:
+        from repro.service.database import (
+            ResultsDatabase,
+            build_run_table,
+        )
+        status = None if args.status == "any" else args.status
+        rows = ResultsDatabase(args.db or _default_db_path()).query(
+            status=status,
+            **{k: v for k, v in filters.items() if v is not None})
+        columns, data = build_run_table(rows)
+        table = {"columns": columns, "rows": data, "count": len(data)}
+    if args.json:
+        print(json.dumps(table, indent=2))
+        return 0
+    from repro.harness.report import format_table
+    headers = [c["id"] for c in table["columns"]]
+    body = [["" if row.get(h) is None
+             else (f"{row[h]:.4f}" if isinstance(row[h], float)
+                   else row[h])
+             for h in headers] for row in table["rows"]]
+    print(format_table(headers, body))
+    print(f"{table['count']} row(s)")
+    return 0
+
+
+#: Service/maintenance subcommands dispatched before the experiment
+#: parser (they have their own argument grammars).
+_SUBCOMMANDS = {
+    "cache": _cache_main,
+    "serve": _serve_main,
+    "submit": _submit_main,
+    "query": _query_main,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "cache":
-        return _cache_main(argv[1:])
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[argv[0]](argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.mechanisms:

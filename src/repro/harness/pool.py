@@ -148,19 +148,82 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
+def _batch_groups(pending: Sequence[RunSpec]) -> List[List[RunSpec]]:
+    """Pending specs grouped by batch signature, first-seen order."""
+    groups: Dict[str, List[RunSpec]] = {}
+    for spec in pending:
+        groups.setdefault(batch_signature(spec), []).append(spec)
+    return list(groups.values())
+
+
+def _group_id(spec: RunSpec) -> str:
+    """Short stable id naming ``spec``'s batch group in telemetry."""
+    signature = batch_signature(spec)
+    return hashlib.sha256(signature.encode("ascii")).hexdigest()[:12]
+
+
+class _WorkerError(Exception):
+    """A spec inside a pool work unit failed.
+
+    Carries the failing spec's index within its unit plus the original
+    cause, so the parent can raise a :class:`SweepError` naming the
+    right spec.  ``args`` mirror ``__init__`` so the instance survives
+    the pickle round-trip back through ``concurrent.futures``.
+    """
+
+    def __init__(self, index: int, cause: BaseException):
+        super().__init__(index, cause)
+        self.index = index
+        self.cause = cause
+
+
+def _picklable(exc: BaseException) -> BaseException:
+    """``exc`` if it survives pickling, else a faithful stand-in."""
+    import pickle
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
 # A worker re-binds the persistent cache exactly like its parent (the
 # binding is module state, which "spawn" children do not inherit), then
-# serves the spec through the full read-through stack.  The result
-# crosses back as cache-layer JSON: plain data, cheap to pickle, and
-# guaranteed to decode to the same RunResult a disk hit would produce.
-def _pool_worker(payload: Tuple[RunSpec, Optional[str], bool]
-                 ) -> Tuple[Dict, str, float]:
-    spec, cache_dir, cache_enabled = payload
+# serves its work unit through the full read-through stack.  A unit is
+# a *batch group* — one or more specs sharing a batch signature; multi-
+# spec units ride one shared trace replay (``runner.run_spec_batch``),
+# degrading to per-spec serial runs if the runner rejects the group.
+# Results cross back as cache-layer JSON: plain data, cheap to pickle,
+# and guaranteed to decode to the same RunResult a disk hit would
+# produce.
+def _pool_worker(payload: Tuple[List[RunSpec], Optional[str], bool]
+                 ) -> List[Tuple[Dict, str, float, Optional[str]]]:
+    group, cache_dir, cache_enabled = payload
     runner.configure_disk_cache(cache_dir, enabled=cache_enabled)
-    started = time.perf_counter()
-    result, source = runner.run_spec_ex(spec)
-    return (run_cache.result_to_json(result), source,
-            time.perf_counter() - started)
+    if len(group) > 1:
+        started = time.perf_counter()
+        try:
+            results = runner.run_spec_batch(group)
+        except runner.BatchIncompatible:
+            pass   # mechanisms resolved to incompatible platforms
+        except Exception as exc:
+            # Attribute batch failures to the group's witness spec.
+            raise _WorkerError(0, _picklable(exc)) from None
+        else:
+            share = (time.perf_counter() - started) / len(group)
+            gid = _group_id(group[0])
+            return [(run_cache.result_to_json(result), "computed",
+                     share, gid) for result in results]
+    entries = []
+    for index, spec in enumerate(group):
+        started = time.perf_counter()
+        try:
+            result, source = runner.run_spec_ex(spec)
+        except Exception as exc:
+            raise _WorkerError(index, _picklable(exc)) from None
+        entries.append((run_cache.result_to_json(result), source,
+                        time.perf_counter() - started, None))
+    return entries
 
 
 ProgressFn = Callable[[int, int, SweepPoint], None]
@@ -175,13 +238,15 @@ def execute_sweep(specs: Sequence[RunSpec],
     Duplicate specs are computed once; the returned sweep always has
     one point per input spec, in input order.
 
-    At ``jobs == 1``, specs that differ only in their mechanism fields
-    (same :func:`~repro.harness.spec.batch_signature`) are routed
-    through one batched trace replay (``System.run_batch``) instead of
-    N independent simulations — bit-identical results, cached under
-    each spec's own key.  ``batch`` overrides the process-wide default
-    (:func:`set_batching`); parallel sweeps ignore it, since the pool
-    already overlaps the runs that batching would share.
+    At every job width, specs that differ only in their mechanism
+    fields (same :func:`~repro.harness.spec.batch_signature`) are
+    routed through one batched trace replay (``System.run_batch``)
+    instead of N independent simulations — bit-identical results,
+    cached under each spec's own key.  At ``jobs > 1`` each batch
+    group is the unit of pool distribution, so parallel sweeps keep
+    the collapse (groups overlap across workers; the variants inside a
+    group still share one replay).  ``batch`` overrides the
+    process-wide default (:func:`set_batching`).
     """
     specs = list(specs)
     jobs = resolve_jobs(jobs)
@@ -219,7 +284,7 @@ def execute_sweep(specs: Sequence[RunSpec],
 
     if pending:
         if jobs > 1 and len(pending) > 1:
-            _run_parallel(pending, min(jobs, len(pending)), record)
+            _run_parallel(pending, jobs, record, batch)
         elif batch:
             _run_grouped(pending, record)
         else:
@@ -238,14 +303,11 @@ def _run_grouped(pending: Sequence[RunSpec],
     resolve to incompatible platforms despite matching signatures)
     falls back to serial rather than failing the sweep.
     """
-    groups: Dict[str, List[RunSpec]] = {}
-    for spec in pending:
-        groups.setdefault(batch_signature(spec), []).append(spec)
-    for signature, group in groups.items():
+    for group in _batch_groups(pending):
         if len(group) == 1:
             _run_serial(group, record)
             continue
-        gid = hashlib.sha256(signature.encode("ascii")).hexdigest()[:12]
+        gid = _group_id(group[0])
         started = time.perf_counter()
         try:
             results = runner.run_spec_batch(group)
@@ -274,16 +336,30 @@ def _run_serial(pending: Sequence[RunSpec],
 
 
 def _run_parallel(pending: Sequence[RunSpec], jobs: int,
-                  record: Callable[[SweepPoint], None]) -> None:
+                  record: Callable[[SweepPoint], None],
+                  batch: bool) -> None:
+    """Fan work units out over a process pool.
+
+    With ``batch`` on, the unit of distribution is a batch group
+    (specs sharing a :func:`~repro.harness.spec.batch_signature`), so
+    parallel sweeps keep the multi-variant collapse: groups overlap
+    across workers while each group's variants share one trace replay
+    inside its worker.  With ``batch`` off every spec is its own unit.
+    """
+    units = _batch_groups(pending) if batch \
+        else [[spec] for spec in pending]
     try:
         from concurrent.futures import FIRST_COMPLETED, \
             ProcessPoolExecutor, wait
-        executor = ProcessPoolExecutor(max_workers=jobs)
+        executor = ProcessPoolExecutor(max_workers=min(jobs, len(units)))
     except (ImportError, NotImplementedError, OSError,
             PermissionError) as exc:
         print(f"warning: process pool unavailable ({exc}); "
               f"running sweep serially", file=sys.stderr)
-        _run_serial(pending, record)
+        if batch:
+            _run_grouped(pending, record)
+        else:
+            _run_serial(pending, record)
         return
 
     disk = runner.active_disk_cache()
@@ -291,22 +367,28 @@ def _run_parallel(pending: Sequence[RunSpec], jobs: int,
     with executor:
         futures = {
             executor.submit(_pool_worker,
-                            (spec, cache_dir, disk is not None)): spec
-            for spec in pending}
+                            (unit, cache_dir, disk is not None)): unit
+            for unit in units}
         not_done = set(futures)
         try:
             while not_done:
                 finished, not_done = wait(not_done,
                                           return_when=FIRST_COMPLETED)
                 for future in finished:
-                    spec = futures[future]
+                    unit = futures[future]
                     try:
-                        data, source, seconds = future.result()
+                        entries = future.result()
+                    except _WorkerError as exc:
+                        raise SweepError(unit[exc.index],
+                                         exc.cause) from exc.cause
                     except Exception as exc:
-                        raise SweepError(spec, exc) from exc
-                    result = run_cache.result_from_json(data)
-                    runner._install(spec, result)
-                    record(SweepPoint(spec, result, source, seconds))
+                        raise SweepError(unit[0], exc) from exc
+                    for spec, entry in zip(unit, entries):
+                        data, source, seconds, gid = entry
+                        result = run_cache.result_from_json(data)
+                        runner._install(spec, result)
+                        record(SweepPoint(spec, result, source, seconds,
+                                          batch_group=gid))
         except BaseException:
             # Drop everything still queued so the error surfaces after
             # at most the in-flight runs, not the whole remaining sweep.

@@ -184,6 +184,41 @@ class RunSpec:
         return ":".join(parts)
 
 
+def spec_from_payload(payload: Dict) -> RunSpec:
+    """Rebuild a :class:`RunSpec` from a :meth:`RunSpec.key_payload`
+    dict (the wire format of the results service).
+
+    The payload is plain JSON data — field-name keys, the scale
+    inlined as a dict — so clients can submit specs over HTTP and the
+    results database can re-materialize the spec it indexed.  Missing
+    fields take the dataclass defaults (``kind`` and ``name`` are
+    required); unknown fields are rejected eagerly so a typo'd client
+    payload fails at the API boundary, not inside a pool worker.
+    Round-trip is exact: ``spec_from_payload(s.key_payload())`` equals
+    the canonicalized ``s`` and hashes to the same cache key.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"spec payload must be an object, "
+                         f"got {type(payload).__name__}")
+    data = dict(payload)
+    known = {f.name for f in fields(RunSpec)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(f"unknown spec field(s) {unknown}; "
+                         f"expected a subset of {sorted(known)}")
+    for required in ("kind", "name"):
+        if required not in data:
+            raise ValueError(f"spec payload is missing {required!r}")
+    scale = data.get("scale")
+    if isinstance(scale, dict):
+        scale_known = {f.name for f in fields(Scale)}
+        bad = sorted(set(scale) - scale_known)
+        if bad:
+            raise ValueError(f"unknown scale field(s) {bad}")
+        data["scale"] = Scale(**scale)
+    return RunSpec(**data)
+
+
 #: RunSpec fields that select or parameterize the latency mechanism.
 #: Two specs that agree on everything *except* these describe the same
 #: platform, workload, seed, scale and engine — exactly the condition

@@ -1,0 +1,36 @@
+"""Simulation-as-a-service layer (DESIGN.md section 9).
+
+Turns the one-shot harness into a persistent, multi-client service:
+
+* :mod:`repro.service.locking` — advisory cross-process file locks;
+* :mod:`repro.service.database` — the locked SQLite results store
+  indexing content-addressed envelopes by spec payload fields;
+* :mod:`repro.service.daemon` — the run queue scheduling deduped
+  submissions on the shared sweep executor;
+* :mod:`repro.service.api` — the stdlib HTTP API
+  (``submit``/``status``/``query``/``health``);
+* :mod:`repro.service.client` — the matching thin client.
+
+CLI: ``chargecache-harness serve | submit | query``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import Job, RunService
+from repro.service.database import (
+    ResultsDatabase,
+    build_run_table,
+    spec_standard,
+)
+from repro.service.locking import FileLock, LockTimeout
+
+__all__ = [
+    "FileLock",
+    "Job",
+    "LockTimeout",
+    "ResultsDatabase",
+    "RunService",
+    "ServiceClient",
+    "ServiceError",
+    "build_run_table",
+    "spec_standard",
+]

@@ -1,0 +1,221 @@
+"""Minimal stdlib HTTP API over :class:`~repro.service.daemon.RunService`.
+
+No third-party dependencies: :mod:`http.server`'s threading server
+fronts the daemon with a small JSON protocol (versioned under
+``/api/v1``) —
+
+``POST /api/v1/submit``
+    Body ``{"specs": [<key_payload dict>, ...], "jobs": N,
+    "wait": bool, "timeout_s": S}``.  Specs are
+    :meth:`~repro.harness.spec.RunSpec.key_payload`-shaped dicts
+    (``kind`` and ``name`` required, everything else defaulted);
+    malformed specs are a 400 at the boundary.  Returns the job
+    snapshot — final if ``wait`` is true, initial otherwise.
+
+``GET /api/v1/status/<job>``
+    Snapshot of one job (404 for unknown ids).
+
+``GET /api/v1/query``
+    Filter stored results by ``scenario``, ``mechanism``,
+    ``standard``, ``kind``, ``name``, ``engine``, ``status``
+    (``done`` by default, ``any`` for everything) and ``limit``.
+    Returns ``{"columns": [...], "rows": [...], "count": N}`` à la a
+    dashboard DataTable (see
+    :func:`~repro.service.database.build_run_table`).
+
+``GET /api/v1/health``
+    Liveness plus store counts.
+
+Handlers run on one thread per connection; every mutating route
+delegates to the daemon, whose queue and locked database keep
+concurrent clients safe.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.harness.spec import spec_from_payload
+from repro.service.daemon import RunService
+from repro.service.database import ResultsDatabase, build_run_table
+
+API_PREFIX = "/api/v1"
+
+#: Query-string filters forwarded to ResultsDatabase.query.
+_QUERY_PARAMS = ("scenario", "mechanism", "standard", "kind", "name",
+                 "engine", "status", "limit")
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """JSON request handler bound to the server's RunService."""
+
+    server_version = "chargecache-service/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> RunService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, fmt: str, *args) -> None:
+        if getattr(self.server, "quiet", True):
+            return
+        super().log_message(fmt, *args)
+
+    def _send_json(self, code: int, payload: Dict) -> None:
+        body = json.dumps(payload).encode("ascii")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self._send_json(code, {"error": message})
+
+    def _read_body(self) -> Dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        data = json.loads(raw.decode("utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    def _route(self) -> Tuple[str, Dict[str, str]]:
+        parsed = urlparse(self.path)
+        query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
+        return parsed.path.rstrip("/"), query
+
+    # -- GET -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server contract)
+        try:
+            path, query = self._route()
+            if path == f"{API_PREFIX}/health":
+                self._send_json(200, self.service.health())
+            elif path.startswith(f"{API_PREFIX}/status/"):
+                job_id = path[len(f"{API_PREFIX}/status/"):]
+                snapshot = self.service.status(job_id)
+                if snapshot is None:
+                    self._error(404, f"unknown job {job_id!r}")
+                else:
+                    self._send_json(200, snapshot)
+            elif path == f"{API_PREFIX}/query":
+                self._send_json(200, self._query(query))
+            elif path == f"{API_PREFIX}/jobs":
+                self._send_json(200, {"jobs": self.service.jobs()})
+            else:
+                self._error(404, f"no such endpoint {path!r}")
+        except ValueError as exc:
+            self._error(400, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def _query(self, query: Dict[str, str]) -> Dict:
+        unknown = sorted(set(query) - set(_QUERY_PARAMS))
+        if unknown:
+            raise ValueError(f"unknown query parameter(s) {unknown}; "
+                             f"expected a subset of {_QUERY_PARAMS}")
+        filters: Dict = {k: v for k, v in query.items()
+                         if k in _QUERY_PARAMS}
+        if filters.get("status") == "any":
+            filters["status"] = None
+        if "limit" in filters:
+            try:
+                filters["limit"] = int(filters["limit"])
+            except ValueError:
+                raise ValueError(
+                    f"limit must be an integer, got {filters['limit']!r}")
+        rows = self.service.query(**filters)
+        columns, table = build_run_table(rows)
+        return {"columns": columns, "rows": table, "count": len(table)}
+
+    # -- POST ----------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server contract)
+        try:
+            path, _ = self._route()
+            if path != f"{API_PREFIX}/submit":
+                self._error(404, f"no such endpoint {path!r}")
+                return
+            body = self._read_body()
+            payloads = body.get("specs")
+            if not isinstance(payloads, list) or not payloads:
+                raise ValueError(
+                    "body must carry a non-empty 'specs' list")
+            specs = [spec_from_payload(p) for p in payloads]
+            jobs = body.get("jobs")
+            if jobs is not None and (not isinstance(jobs, int)
+                                     or jobs < 0):
+                raise ValueError("'jobs' must be a non-negative int")
+            snapshot = self.service.submit(specs, jobs=jobs)
+            if body.get("wait"):
+                timeout = body.get("timeout_s")
+                snapshot = self.service.wait(
+                    snapshot["job"],
+                    timeout_s=float(timeout) if timeout else None)
+            self._send_json(200, snapshot)
+        except (ValueError, TypeError, KeyError) as exc:
+            self._error(400, str(exc))
+        except TimeoutError as exc:
+            self._error(504, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server carrying its RunService reference."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: RunService,
+                 quiet: bool = True):
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+        self.quiet = quiet
+
+
+def make_server(service: RunService, host: str = "127.0.0.1",
+                port: int = 0, quiet: bool = True) -> ServiceHTTPServer:
+    """Bind (but do not start) the API server; ``port=0`` picks one."""
+    return ServiceHTTPServer((host, port), service, quiet=quiet)
+
+
+def serve(database: str, cache_dir: Optional[str] = None,
+          host: str = "127.0.0.1", port: int = 8023,
+          jobs: Optional[int] = None, import_cache: bool = False,
+          quiet: bool = False) -> None:
+    """The blocking daemon entry point (CLI ``serve`` subcommand).
+
+    Binds the harness's persistent cache for the whole daemon process,
+    optionally backfills the database from an existing cache
+    directory, then serves until interrupted.
+    """
+    import sys
+
+    from repro.harness import runner
+
+    runner.configure_disk_cache(cache_dir)
+    db = ResultsDatabase(database)
+    if import_cache:
+        disk = runner.active_disk_cache()
+        if disk is not None:
+            imported, skipped = db.import_run_cache(disk)
+            print(f"backfilled {imported} envelope(s) from "
+                  f"{disk.root} ({skipped} skipped)", file=sys.stderr)
+    service = RunService(db, jobs=jobs).start()
+    server = make_server(service, host, port, quiet=quiet)
+    bound = server.server_address
+    print(f"chargecache service on http://{bound[0]}:{bound[1]}"
+          f"{API_PREFIX} (db {db.path})", file=sys.stderr, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.stop()

@@ -1,0 +1,136 @@
+"""Thin stdlib HTTP client for the simulation service.
+
+Mirrors the API surface of :mod:`repro.service.api` one method per
+endpoint, speaking the same JSON protocol with nothing beyond
+``urllib``.  Specs go over the wire as
+:meth:`~repro.harness.spec.RunSpec.key_payload` dicts; the client
+accepts :class:`~repro.harness.spec.RunSpec` objects and converts, so
+harness code can hand its sweep declarations straight to a remote
+daemon::
+
+    client = ServiceClient("http://127.0.0.1:8023")
+    job = client.submit([workload_spec("libquantum", "chargecache")],
+                        wait=True)
+    table = client.query(mechanism="chargecache")
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.harness.spec import RunSpec
+
+from repro.service.api import API_PREFIX
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an error payload or bad status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """One service endpoint, e.g. ``http://127.0.0.1:8023``."""
+
+    def __init__(self, base_url: str, timeout_s: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport -----------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict] = None,
+                 timeout_s: Optional[float] = None) -> Dict:
+        url = f"{self.base_url}{API_PREFIX}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data,
+                                         headers=headers,
+                                         method=method)
+        try:
+            with urllib.request.urlopen(
+                    request,
+                    timeout=timeout_s or self.timeout_s) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))
+                message = detail.get("error", str(exc))
+            except Exception:
+                message = str(exc)
+            raise ServiceError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {url}: "
+                               f"{exc.reason}") from None
+        return payload
+
+    # -- endpoints -----------------------------------------------------
+
+    def submit(self, specs: Sequence[Union[RunSpec, Dict]],
+               jobs: Optional[int] = None, wait: bool = False,
+               timeout_s: Optional[float] = None) -> Dict:
+        """Submit a job; returns its snapshot (final when ``wait``).
+
+        ``timeout_s`` bounds the *server-side* wait; the transport
+        timeout is stretched to match so a long sweep does not trip
+        the socket first.
+        """
+        payloads = [spec.key_payload() if isinstance(spec, RunSpec)
+                    else spec for spec in specs]
+        body: Dict = {"specs": payloads, "wait": wait}
+        if jobs is not None:
+            body["jobs"] = jobs
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        transport = None
+        if wait:
+            transport = max(self.timeout_s,
+                            (timeout_s or 300.0) + 10.0)
+        return self._request("POST", "/submit", body,
+                             timeout_s=transport)
+
+    def status(self, job_id: str) -> Dict:
+        return self._request("GET", f"/status/{job_id}")
+
+    def wait(self, job_id: str, timeout_s: float = 300.0,
+             poll_s: float = 0.2) -> Dict:
+        """Client-side poll until the job leaves the queue/run states."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            snapshot = self.status(job_id)
+            if snapshot["state"] in ("done", "failed"):
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id!r} still {snapshot['state']!r} "
+                    f"after {timeout_s}s")
+            time.sleep(poll_s)
+
+    def query(self, **filters) -> Dict:
+        """Stored-results table: ``{"columns", "rows", "count"}``.
+
+        Filters: scenario, mechanism, standard, kind, name, engine,
+        status (``"any"`` disables the default done-only view), limit.
+        """
+        clean = {k: str(v) for k, v in filters.items()
+                 if v is not None}
+        path = "/query"
+        if clean:
+            path += "?" + urllib.parse.urlencode(clean)
+        return self._request("GET", path)
+
+    def jobs(self) -> List[Dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def health(self) -> Dict:
+        return self._request("GET", "/health")

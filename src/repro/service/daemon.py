@@ -1,0 +1,246 @@
+"""The run-queue daemon: accept submissions, dedupe, schedule, record.
+
+:class:`RunService` is the long-lived core of the simulation service.
+Clients submit batches of :class:`~repro.harness.spec.RunSpec`s (a
+"job"); the service
+
+1. **dedupes** each submission — within itself, against the results
+   database (runs already ``done`` cost nothing), and against the
+   in-flight set (keys queued or running for an earlier job are not
+   double-scheduled; FIFO job execution means the later job simply
+   finds them in the cache),
+2. **schedules** the genuinely new specs on the shared sweep executor
+   (:func:`repro.harness.pool.execute_sweep`, so jobs inherit the
+   process pool, the read-through cache layers *and* the batched
+   multi-variant collapse), and
+3. **records** every finished point to both stores: the JSON envelope
+   is already persisted by the runner's read-through path (envelope
+   first — see DESIGN.md section 9's lock ordering), then the indexed
+   row lands in the :class:`~repro.service.database.ResultsDatabase`.
+
+Jobs execute on one background worker thread in submission order.
+That is a deliberate simplification: each job may fan out over many
+processes internally (its ``jobs`` width), so the queue orders *work
+batches*, not simulations, and FIFO execution is what makes the
+in-flight dedupe argument airtight.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.harness import cache as run_cache
+from repro.harness import pool, runner
+from repro.harness.spec import RunSpec, dedupe_specs
+from repro.service.database import ResultsDatabase
+
+#: Job lifecycle states, in order.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class Job:
+    """One submission: its specs, lifecycle state and outcome."""
+
+    id: str
+    specs: List[RunSpec]
+    keys: List[str]
+    jobs: Optional[int]
+    state: str = "queued"
+    error: Optional[str] = None
+    #: Sweep-layer counts (points/memory/disk/computed/batched) once
+    #: the job has run, plus submit-time dedupe accounting.
+    counts: Dict[str, int] = field(default_factory=dict)
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    finished: threading.Event = field(default_factory=threading.Event,
+                                      repr=False)
+
+    def snapshot(self) -> Dict:
+        """JSON-safe view of this job (the status API's payload)."""
+        return {
+            "job": self.id,
+            "state": self.state,
+            "points": len(self.specs),
+            "keys": list(self.keys),
+            "jobs": self.jobs,
+            "counts": dict(self.counts),
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "elapsed_s": (None if self.started_at is None
+                          else (self.finished_at or time.time())
+                          - self.started_at),
+        }
+
+
+class RunService:
+    """Run queue + results database, shared by every client.
+
+    ``database`` is a :class:`ResultsDatabase` or a path to one.  The
+    service uses the harness's *ambient* cache binding
+    (:func:`repro.harness.runner.configure_disk_cache`) — the serving
+    entry point binds it once for the daemon process, and in-process
+    embedders (tests, examples) keep whatever binding they set up.
+    """
+
+    def __init__(self, database: Union[ResultsDatabase, str],
+                 jobs: Optional[int] = None):
+        if isinstance(database, str):
+            database = ResultsDatabase(database)
+        self.db = database
+        self.default_jobs = jobs
+        self._jobs: Dict[str, Job] = {}
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        #: cache key -> job id that will (or did) compute it, for every
+        #: job still queued or running.
+        self._inflight: Dict[str, str] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._worker: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "RunService":
+        if self._worker is not None and self._worker.is_alive():
+            raise RuntimeError("service already started")
+        self._worker = threading.Thread(target=self._loop,
+                                        name="run-service-worker",
+                                        daemon=True)
+        self._worker.start()
+        return self
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        """Drain the queue sentinel-style and join the worker."""
+        if self._worker is None:
+            return
+        self._queue.put(None)
+        self._worker.join(timeout=timeout_s)
+        self._worker = None
+
+    def __enter__(self) -> "RunService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, specs: Sequence[RunSpec],
+               jobs: Optional[int] = None) -> Dict:
+        """Queue one job; returns its initial snapshot immediately.
+
+        ``counts`` in the snapshot carries the submit-time dedupe
+        verdict: ``already_done`` keys have a ``done`` database row,
+        ``inflight`` keys are owned by an earlier queued/running job,
+        and ``scheduled`` keys are genuinely new (this job claims
+        them).  The final cache-layer counts land when the job runs.
+        """
+        specs = dedupe_specs(list(specs))
+        if not specs:
+            raise ValueError("submit() needs at least one spec")
+        keys = [run_cache.cache_key(spec) for spec in specs]
+        with self._lock:
+            job_id = f"job-{next(self._ids):06d}"
+            already_done = inflight = scheduled = 0
+            for key in keys:
+                if key in self._inflight:
+                    inflight += 1
+                    continue
+                if self.db.has_result(key):
+                    already_done += 1
+                else:
+                    scheduled += 1
+                self._inflight[key] = job_id
+            job = Job(id=job_id, specs=specs, keys=keys,
+                      jobs=jobs if jobs is not None
+                      else self.default_jobs)
+            job.counts = {"already_done": already_done,
+                          "inflight": inflight,
+                          "scheduled": scheduled}
+            self._jobs[job_id] = job
+        self._queue.put(job_id)
+        return job.snapshot()
+
+    # -- worker --------------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            job = self._jobs[job_id]
+            job.state = "running"
+            job.started_at = time.time()
+            try:
+                self._execute(job)
+                job.state = "done"
+            except Exception as exc:  # job-scoped: daemon stays up
+                job.state = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+            finally:
+                job.finished_at = time.time()
+                with self._lock:
+                    for key in job.keys:
+                        if self._inflight.get(key) == job.id:
+                            del self._inflight[key]
+                job.finished.set()
+
+    def _execute(self, job: Job) -> None:
+        sweep = pool.execute_sweep(job.specs, jobs=job.jobs)
+        disk = runner.active_disk_cache()
+        for point, key in zip(sweep.points, job.keys):
+            envelope = disk.path_for(key) if disk is not None else None
+            self.db.record(point.spec, point.result, key=key,
+                           envelope_path=envelope, owner=job.id)
+        job.counts.update(sweep.counts())
+        job.counts["served"] = (job.counts.get("memory", 0)
+                                + job.counts.get("disk", 0))
+
+    # -- inspection ----------------------------------------------------
+
+    def status(self, job_id: str) -> Optional[Dict]:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        return job.snapshot() if job is not None else None
+
+    def wait(self, job_id: str,
+             timeout_s: Optional[float] = None) -> Dict:
+        """Block until the job finishes; returns its final snapshot."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        if not job.finished.wait(timeout=timeout_s):
+            raise TimeoutError(f"job {job_id!r} still {job.state!r} "
+                               f"after {timeout_s}s")
+        return job.snapshot()
+
+    def jobs(self) -> List[Dict]:
+        with self._lock:
+            return [job.snapshot() for job in self._jobs.values()]
+
+    def query(self, **filters) -> List[Dict]:
+        """Delegate to :meth:`ResultsDatabase.query`."""
+        return self.db.query(**filters)
+
+    def health(self) -> Dict:
+        with self._lock:
+            n_jobs = len(self._jobs)
+            inflight = len(self._inflight)
+        return {
+            "ok": True,
+            "database": self.db.path,
+            "rows": self.db.count(),
+            "done": self.db.count("done"),
+            "pending": self.db.count("pending"),
+            "jobs": n_jobs,
+            "inflight_keys": inflight,
+        }

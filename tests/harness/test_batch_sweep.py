@@ -112,6 +112,68 @@ def test_batched_points_warm_a_serial_rerun():
     assert warm.counts()["batched"] == 0
 
 
+class TestParallelBatching:
+    """Regression: batching must survive ``--jobs > 1``.
+
+    Parallel sweeps used to fall back silently to one simulation per
+    point, losing the multi-variant collapse with zero telemetry; now
+    each batch group is the unit of pool distribution.
+    """
+
+    SPECS = [RunSpec(kind="single", name=name, mechanism=mech,
+                     scale=TINY, engine="event", cc_entries=entries)
+             for name in ("hmmer", "libquantum")
+             for mech, entries in (("none", None), ("chargecache", 64),
+                                   ("chargecache", 256))]
+
+    def test_parallel_sweep_keeps_batch_groups(self, tmp_path):
+        runner.configure_disk_cache(str(tmp_path / "par"))
+        parallel = execute_sweep(self.SPECS, jobs=2, batch=True)
+        counts = parallel.counts()
+        assert counts["computed"] == len(self.SPECS)
+        assert counts["batched"] == len(self.SPECS)
+        # Two workloads -> two batch groups, three variants each.
+        groups = {}
+        for point in parallel.points:
+            groups.setdefault(point.batch_group, []).append(point.spec)
+        assert len(groups) == 2
+        for members in groups.values():
+            assert len(members) == 3
+            assert len({batch_signature(s) for s in members}) == 1
+
+    def test_parallel_batched_matches_serial_unbatched(self, tmp_path):
+        runner.configure_disk_cache(str(tmp_path / "par"))
+        parallel = execute_sweep(self.SPECS, jobs=2, batch=True)
+        parallel_keys = set(runner.active_disk_cache().keys())
+
+        runner.clear_memo()
+        runner.configure_disk_cache(str(tmp_path / "ser"))
+        serial = execute_sweep(self.SPECS, jobs=1, batch=False)
+        serial_keys = set(runner.active_disk_cache().keys())
+
+        assert [p.spec for p in parallel.points] == self.SPECS
+        for par, ser in zip(parallel.points, serial.points):
+            assert result_to_json(par.result) == \
+                result_to_json(ser.result), par.spec.label()
+        assert parallel_keys == serial_keys
+
+    def test_parallel_no_batch_stays_ungrouped(self, tmp_path):
+        runner.configure_disk_cache(str(tmp_path / "nobatch"))
+        sweep = execute_sweep(self.SPECS, jobs=2, batch=False)
+        assert all(p.batch_group is None for p in sweep.points)
+        assert sweep.counts()["computed"] == len(self.SPECS)
+
+    def test_parallel_failure_inside_group_names_the_spec(self,
+                                                          tmp_path):
+        runner.configure_disk_cache(str(tmp_path / "fail"))
+        bad = RunSpec(kind="single", name="no-such-workload",
+                      scale=TINY, engine="event")
+        with pytest.raises(pool.SweepError) as err:
+            execute_sweep(self.SPECS[:3] + [bad], jobs=2, batch=True)
+        assert err.value.spec == bad
+        assert "no-such-workload" in str(err.value)
+
+
 class TestGroupingGuard:
     BASE = dict(kind="single", name="hmmer", scale=TINY, engine="event")
 

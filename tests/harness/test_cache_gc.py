@@ -109,6 +109,45 @@ class TestGC:
         assert not os.path.exists(stray)
         assert report.removed == 1
 
+    def test_tmp_sweep_immune_to_host_clock_skew(self, seeded,
+                                                 monkeypatch):
+        """Regression: the orphan sweep must age ``.tmp`` files against
+        the directory's own clock, not ``time.time()``.
+
+        With an NFS-mounted cache dir the server stamps mtimes from
+        *its* clock; a skewed host used to compute ``cutoff =
+        time.time() - AGE`` and could sweep a freshly-written in-flight
+        temp (host fast) or keep a crashed orphan forever (host slow).
+        Simulate hours of skew in both directions and check neither
+        failure happens.
+        """
+        import time as time_mod
+
+        from repro.harness.cache import TMP_SWEEP_AGE_S
+        cache, _, _ = seeded
+        fresh = os.path.join(cache.root, "inflight-writer.tmp")
+        with open(fresh, "w") as fh:
+            fh.write("partial")
+
+        real_time = time_mod.time
+        for skew in (2 * TMP_SWEEP_AGE_S, -2 * TMP_SWEEP_AGE_S):
+            monkeypatch.setattr(time_mod, "time",
+                                lambda s=skew: real_time() + s)
+            report = cache.gc(dry_run=True)
+            assert not any(name == "inflight-writer.tmp"
+                           for name, _ in report.stale), \
+                f"fresh temp swept under {skew:+.0f}s host skew"
+        monkeypatch.setattr(time_mod, "time", real_time)
+
+        # A genuinely old orphan (by the directory's clock) is still
+        # collected even when the host clock runs slow.
+        old = os.path.getmtime(fresh) - TMP_SWEEP_AGE_S - 60
+        os.utime(fresh, (old, old))
+        monkeypatch.setattr(time_mod, "time",
+                            lambda: real_time() - 2 * TMP_SWEEP_AGE_S)
+        report = cache.gc()
+        assert not os.path.exists(fresh)
+
     def test_explicit_fingerprint(self, seeded):
         cache, current_key, stale_key = seeded
         # Under the stale entry's own fingerprint, roles swap.

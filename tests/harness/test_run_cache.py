@@ -230,6 +230,48 @@ class TestRunCacheStore:
         assert store.get(cache_key(SPEC)) is None
 
 
+class TestPutDurability:
+    """Regression: ``put`` must fsync the temp file *before* the
+    rename (and best-effort the directory after), or a crash can
+    persist a rename pointing at unwritten data blocks — a silently
+    truncated envelope."""
+
+    def test_data_synced_before_rename(self, tmp_path, monkeypatch):
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(os, "fsync",
+                            lambda fd: (events.append("fsync"),
+                                        real_fsync(fd))[1])
+        monkeypatch.setattr(os, "replace",
+                            lambda src, dst:
+                            (events.append("replace"),
+                             real_replace(src, dst))[1])
+        store = RunCache(str(tmp_path))
+        result = runner._execute_spec(SPEC)
+        store.put(cache_key(SPEC), SPEC, result)
+        assert "fsync" in events and "replace" in events
+        assert events.index("fsync") < events.index("replace"), \
+            "temp file must be durable before it becomes visible"
+
+    def test_directory_fsync_failure_is_tolerated(self, tmp_path,
+                                                  monkeypatch):
+        """A filesystem refusing directory fsync (or O_DIRECTORY)
+        must not fail the write — the envelope itself is synced."""
+        real_open = os.open
+
+        def deny_dir_open(path, flags, *args, **kwargs):
+            if isinstance(path, str) and os.path.isdir(path):
+                raise PermissionError("no directory handles here")
+            return real_open(path, flags, *args, **kwargs)
+
+        monkeypatch.setattr(os, "open", deny_dir_open)
+        store = RunCache(str(tmp_path))
+        result = runner._execute_spec(SPEC)
+        key = cache_key(SPEC)
+        store.put(key, SPEC, result)   # must not raise
+        assert store.get(key) is not None
+
+
 class TestReadThrough:
     def test_disk_hit_after_memo_clear(self, bound_cache):
         fresh, source = runner.run_spec_ex(SPEC)

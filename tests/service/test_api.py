@@ -1,0 +1,140 @@
+"""End-to-end tests for the HTTP API and its thin client.
+
+A real ThreadingHTTPServer on an ephemeral port fronts a real
+RunService; the ServiceClient talks to it over loopback exactly as a
+remote harness would.
+"""
+
+import threading
+
+import pytest
+
+from repro.harness import runner
+from repro.harness.runner import Scale, workload_spec
+from repro.service.api import make_server
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import RunService
+
+TINY = Scale(single_core_instructions=1500, multi_core_instructions=1000,
+             warmup_cpu_cycles=1000, max_mem_cycles=300_000)
+
+SPECS = [workload_spec("libquantum", mech, TINY)
+         for mech in ("none", "chargecache")]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache(tmp_path):
+    prev = (runner._disk_enabled, runner._disk_dir)
+    runner.clear_memo()
+    runner.configure_disk_cache(str(tmp_path / "cache"))
+    yield
+    runner.clear_memo()
+    runner.configure_disk_cache(prev[1], enabled=prev[0])
+
+
+@pytest.fixture
+def client(tmp_path):
+    service = RunService(str(tmp_path / "results.sqlite")).start()
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address
+    try:
+        yield ServiceClient(f"http://{host}:{port}")
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+        service.stop()
+
+
+class TestRoundTrip:
+    def test_submit_wait_query_over_http(self, client):
+        job = client.submit(SPECS, wait=True, timeout_s=300)
+        assert job["state"] == "done"
+        assert job["counts"]["computed"] == 2
+
+        table = client.query(mechanism="chargecache")
+        assert table["count"] == 1
+        (row,) = table["rows"]
+        assert row["name"] == "libquantum"
+        assert row["status"] == "done"
+        assert row["total_ipc"] > 0
+        assert {c["id"] for c in table["columns"]} >= \
+            {"kind", "name", "mechanism", "standard", "total_ipc"}
+
+        # Resubmitting the same specs does zero simulations.
+        again = client.submit(SPECS, wait=True, timeout_s=300)
+        assert again["counts"]["computed"] == 0
+        assert again["counts"]["already_done"] == 2
+
+    def test_raw_payload_dicts_are_accepted(self, client):
+        payload = SPECS[0].key_payload()
+        job = client.submit([payload], wait=True, timeout_s=300)
+        assert job["state"] == "done"
+        assert job["points"] == 1
+
+    def test_status_and_jobs_listing(self, client):
+        job = client.submit([SPECS[0]], wait=True, timeout_s=300)
+        snapshot = client.status(job["job"])
+        assert snapshot["state"] == "done"
+        assert snapshot["elapsed_s"] >= 0
+        listed = client.jobs()
+        assert [j["job"] for j in listed] == [job["job"]]
+
+    def test_client_side_wait_polls_to_done(self, client):
+        job = client.submit([SPECS[0]])
+        final = client.wait(job["job"], timeout_s=300)
+        assert final["state"] == "done"
+
+    def test_health(self, client):
+        health = client.health()
+        assert health["ok"] is True
+        assert health["rows"] == 0
+
+
+class TestErrorSurface:
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.status("job-424242")
+        assert err.value.status == 404
+
+    def test_malformed_spec_is_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.submit([{"kind": "single"}])  # no name
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            client.submit([{"kind": "single", "name": "libquantum",
+                            "bogus_field": 1}])
+        assert err.value.status == 400
+        assert "bogus_field" in str(err.value)
+
+    def test_empty_specs_is_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.submit([])
+        assert err.value.status == 400
+
+    def test_unknown_query_param_is_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.query(flavour="strange")
+        assert err.value.status == 400
+        assert "flavour" in str(err.value)
+
+    def test_bad_limit_is_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.query(limit="many")
+        assert err.value.status == 400
+
+    def test_unknown_endpoint_is_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/nope")
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            client._request("POST", "/nope")
+        assert err.value.status == 404
+
+    def test_unreachable_server_is_status_zero(self):
+        dead = ServiceClient("http://127.0.0.1:1", timeout_s=0.5)
+        with pytest.raises(ServiceError) as err:
+            dead.health()
+        assert err.value.status == 0

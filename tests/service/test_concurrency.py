@@ -1,0 +1,148 @@
+"""Multi-process hammer test: one key, one DB row, many writers.
+
+Satellite guarantee for the service's concurrency model: N processes
+racing on the *same* spec must (a) run the simulation exactly once —
+:meth:`ResultsDatabase.claim` admits one winner — (b) never observe a
+corrupt envelope while hammering put/get on the shared cache key, and
+(c) converge on one bit-identical result row with no lost updates.
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+
+from repro.harness.cache import RunCache, cache_key, result_to_json
+from repro.harness.runner import Scale, workload_spec
+from repro.service.database import ResultsDatabase
+
+N_WORKERS = 4
+
+TINY = Scale(single_core_instructions=1500, multi_core_instructions=1000,
+             warmup_cpu_cycles=1000, max_mem_cycles=300_000)
+
+WORKER = """
+import hashlib, json, os, sys, time
+
+cache_dir, db_path, out_dir, go_file = sys.argv[1:5]
+
+from repro.harness import runner
+from repro.harness.cache import RunCache, cache_key, result_to_json
+from repro.harness.runner import Scale, run_spec_ex, workload_spec
+from repro.service.database import ResultsDatabase
+
+TINY = Scale(single_core_instructions=1500,
+             multi_core_instructions=1000,
+             warmup_cpu_cycles=1000, max_mem_cycles=300_000)
+
+pid = os.getpid()
+runner.configure_disk_cache(cache_dir)
+cache = RunCache(cache_dir)
+db = ResultsDatabase(db_path, lock_timeout_s=120.0)
+spec = workload_spec("libquantum", "chargecache", TINY)
+key = cache_key(spec)
+
+# Line up on the barrier so the claim race is a real race.
+open(os.path.join(out_dir, "ready-%d" % pid), "w").close()
+while not os.path.exists(go_file):
+    time.sleep(0.005)
+
+if db.claim(spec, owner=str(pid), key=key):
+    result, source = run_spec_ex(spec)   # read-through persists it
+    assert source == "computed", source
+    db.record(spec, result, key=key,
+              envelope_path=cache.path_for(key), owner=str(pid))
+    open(os.path.join(out_dir, "winner-%d" % pid), "w").close()
+else:
+    deadline = time.monotonic() + 240.0
+    while not db.has_result(key):
+        assert time.monotonic() < deadline, "timed out on the winner"
+        time.sleep(0.02)
+    result = cache.get(key)
+    assert result is not None, "done row without readable envelope"
+
+canonical = json.dumps(result_to_json(result), sort_keys=True)
+
+# Hammer the shared key: concurrent re-puts must never expose a
+# torn/corrupt envelope to any concurrent reader.
+for _ in range(15):
+    cache.put(key, spec, result)
+    seen = cache.get(key)
+    assert seen is not None, "reader observed a corrupt envelope"
+    got = json.dumps(result_to_json(seen), sort_keys=True)
+    assert got == canonical, "reader observed a torn write"
+
+row = db.get(key)
+assert row is not None and row["status"] == "done"
+assert row["total_ipc"] == result.total_ipc, "lost row update"
+
+digest = hashlib.sha256(canonical.encode("ascii")).hexdigest()
+with open(os.path.join(out_dir, "ok-%d" % pid), "w") as fh:
+    fh.write(digest)
+"""
+
+
+def test_n_processes_one_key_one_row_one_simulation(tmp_path):
+    cache_dir = tmp_path / "cache"
+    out_dir = tmp_path / "out"
+    out_dir.mkdir()
+    go_file = tmp_path / "go"
+    script = tmp_path / "worker.py"
+    script.write_text(WORKER)
+
+    src = os.path.join(os.getcwd(), "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [src, env.get("PYTHONPATH")]))
+
+    workers = [
+        subprocess.Popen(
+            [sys.executable, str(script), str(cache_dir),
+             str(tmp_path / "results.sqlite"), str(out_dir),
+             str(go_file)],
+            env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True)
+        for _ in range(N_WORKERS)
+    ]
+    try:
+        deadline = time.monotonic() + 120.0
+        while len([f for f in os.listdir(out_dir)
+                   if f.startswith("ready-")]) < N_WORKERS:
+            assert time.monotonic() < deadline, "workers never lined up"
+            time.sleep(0.02)
+        go_file.touch()
+        for worker in workers:
+            output, _ = worker.communicate(timeout=300)
+            assert worker.returncode == 0, output
+    finally:
+        for worker in workers:
+            if worker.poll() is None:
+                worker.kill()
+
+    names = os.listdir(out_dir)
+    winners = [f for f in names if f.startswith("winner-")]
+    oks = [f for f in names if f.startswith("ok-")]
+    assert len(winners) == 1, f"expected one winner, saw {winners}"
+    assert len(oks) == N_WORKERS
+
+    # Every process saw the same bits.
+    digests = {(out_dir / f).read_text() for f in oks}
+    assert len(digests) == 1
+
+    # One row, done, matching the (single, intact) envelope.
+    db = ResultsDatabase(str(tmp_path / "results.sqlite"))
+    assert len(db) == 1
+    spec = workload_spec("libquantum", "chargecache", TINY)
+    key = cache_key(spec)
+    row = db.get(key)
+    assert row["status"] == "done"
+    cache = RunCache(str(cache_dir))
+    assert cache.keys() == [key]
+    result = cache.get(key)
+    assert result is not None
+    assert row["total_ipc"] == result.total_ipc
+    canonical = json.dumps(result_to_json(result), sort_keys=True)
+    assert hashlib.sha256(
+        canonical.encode("ascii")).hexdigest() == digests.pop()

@@ -1,0 +1,130 @@
+"""Tests for the run-queue daemon (in-process RunService)."""
+
+import pytest
+
+from repro.harness import runner
+from repro.harness.cache import cache_key
+from repro.harness.runner import Scale, workload_spec
+from repro.service.daemon import RunService
+from repro.service.database import ResultsDatabase
+
+TINY = Scale(single_core_instructions=1500, multi_core_instructions=1000,
+             warmup_cpu_cycles=1000, max_mem_cycles=300_000)
+
+SPECS = [workload_spec("libquantum", mech, TINY)
+         for mech in ("none", "chargecache")]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache(tmp_path):
+    prev = (runner._disk_enabled, runner._disk_dir)
+    runner.clear_memo()
+    runner.configure_disk_cache(str(tmp_path / "cache"))
+    yield
+    runner.clear_memo()
+    runner.configure_disk_cache(prev[1], enabled=prev[0])
+
+
+@pytest.fixture
+def service(tmp_path):
+    with RunService(str(tmp_path / "results.sqlite")) as svc:
+        yield svc
+
+
+class TestSubmitAndRun:
+    def test_job_runs_and_records_to_both_stores(self, service):
+        snapshot = service.submit(SPECS)
+        assert snapshot["state"] == "queued"
+        assert snapshot["counts"] == {"already_done": 0, "inflight": 0,
+                                      "scheduled": 2}
+        final = service.wait(snapshot["job"], timeout_s=300)
+        assert final["state"] == "done"
+        assert final["counts"]["computed"] == 2
+        # Both stores hold both points: the DB rows...
+        rows = service.query()
+        assert len(rows) == 2
+        assert {r["owner"] for r in rows} == {snapshot["job"]}
+        # ...and each row points at a readable envelope.
+        disk = runner.active_disk_cache()
+        for spec in SPECS:
+            key = cache_key(spec)
+            assert service.db.has_result(key)
+            assert service.db.get(key)["envelope_path"] == \
+                disk.path_for(key)
+            assert disk.get(key) is not None
+
+    def test_resubmit_is_served_without_simulating(self, service):
+        first = service.wait(service.submit(SPECS)["job"],
+                             timeout_s=300)
+        assert first["counts"]["computed"] == 2
+        runner.clear_memo()  # force the disk/db layers to answer
+        second = service.wait(service.submit(SPECS)["job"],
+                              timeout_s=300)
+        assert second["counts"]["already_done"] == 2
+        assert second["counts"]["scheduled"] == 0
+        assert second["counts"]["computed"] == 0
+        assert second["counts"]["served"] == 2
+
+    def test_duplicate_specs_within_a_job_collapse(self, service):
+        snapshot = service.submit([SPECS[0], SPECS[0], SPECS[1]])
+        assert snapshot["points"] == 2
+        final = service.wait(snapshot["job"], timeout_s=300)
+        assert final["counts"]["computed"] == 2
+
+    def test_empty_submission_rejected(self, service):
+        with pytest.raises(ValueError):
+            service.submit([])
+
+
+class TestInflightDedupe:
+    def test_queued_keys_are_not_rescheduled(self, tmp_path):
+        # Submit twice before the worker starts: the second job must
+        # see every key as in-flight, and FIFO execution then serves
+        # it entirely from the first job's results.
+        service = RunService(str(tmp_path / "results.sqlite"))
+        a = service.submit(SPECS)
+        b = service.submit(SPECS)
+        assert a["counts"]["scheduled"] == 2
+        assert b["counts"]["inflight"] == 2
+        assert b["counts"]["scheduled"] == 0
+        with service:
+            final_a = service.wait(a["job"], timeout_s=300)
+            final_b = service.wait(b["job"], timeout_s=300)
+        assert final_a["counts"]["computed"] == 2
+        assert final_b["counts"]["computed"] == 0
+        assert final_b["counts"]["served"] == 2
+
+
+class TestFailureIsolation:
+    def test_failed_job_reports_and_daemon_survives(self, service):
+        bad = workload_spec("no-such-workload", "none", TINY)
+        failed = service.wait(service.submit([bad])["job"],
+                              timeout_s=300)
+        assert failed["state"] == "failed"
+        assert "no-such-workload" in failed["error"]
+        # The failed key is out of the in-flight set and nothing
+        # landed in the database...
+        assert service.health()["inflight_keys"] == 0
+        assert len(service.db) == 0
+        # ...and the worker keeps taking jobs.
+        ok = service.wait(service.submit([SPECS[0]])["job"],
+                          timeout_s=300)
+        assert ok["state"] == "done"
+
+    def test_wait_on_unknown_job_raises(self, service):
+        with pytest.raises(KeyError):
+            service.wait("job-999999")
+        assert service.status("job-999999") is None
+
+
+class TestHealth:
+    def test_health_reflects_store_and_queue(self, service):
+        before = service.health()
+        assert before["ok"] and before["rows"] == 0
+        service.wait(service.submit(SPECS)["job"], timeout_s=300)
+        after = service.health()
+        assert after["rows"] == after["done"] == 2
+        assert after["pending"] == 0
+        assert after["jobs"] == 1
+        assert after["inflight_keys"] == 0
+        assert len(service.jobs()) == 1

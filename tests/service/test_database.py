@@ -1,0 +1,238 @@
+"""Tests for the locked SQLite results store."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.harness import runner
+from repro.harness.cache import (
+    RunCache,
+    cache_key,
+    code_fingerprint,
+    result_to_json,
+)
+from repro.harness.runner import Scale, run_spec_ex, workload_spec
+from repro.service.database import (
+    DB_SCHEMA_VERSION,
+    METRIC_FIELDS,
+    QUERY_FIELDS,
+    ResultsDatabase,
+    build_run_table,
+    spec_standard,
+)
+
+TINY = Scale(single_core_instructions=1500, multi_core_instructions=1000,
+             warmup_cpu_cycles=1000, max_mem_cycles=300_000)
+
+
+@pytest.fixture(scope="module")
+def computed():
+    """Two genuinely simulated (spec, result) pairs to index."""
+    pairs = []
+    for mechanism in ("none", "chargecache"):
+        spec = workload_spec("libquantum", mechanism, TINY)
+        result, _ = run_spec_ex(spec)
+        pairs.append((spec, result))
+    return pairs
+
+
+@pytest.fixture
+def db(tmp_path):
+    return ResultsDatabase(str(tmp_path / "results.sqlite"))
+
+
+class TestSchema:
+    def test_fresh_store_is_stamped_and_empty(self, db):
+        assert len(db) == 0
+        conn = sqlite3.connect(db.path)
+        try:
+            version = conn.execute("PRAGMA user_version").fetchone()[0]
+        finally:
+            conn.close()
+        assert version == DB_SCHEMA_VERSION
+
+    def test_reopening_same_store_is_fine(self, db, computed):
+        spec, result = computed[0]
+        db.record(spec, result)
+        again = ResultsDatabase(db.path)
+        assert len(again) == 1
+
+    def test_mismatched_schema_refuses_to_open(self, db):
+        conn = sqlite3.connect(db.path)
+        try:
+            conn.execute("PRAGMA user_version = 99")
+            conn.commit()
+        finally:
+            conn.close()
+        with pytest.raises(ValueError, match="schema 99"):
+            ResultsDatabase(db.path)
+
+
+class TestClaimLifecycle:
+    def test_exactly_one_claim_wins(self, db, computed):
+        spec, _ = computed[0]
+        assert db.claim(spec, owner="a") is True
+        assert db.claim(spec, owner="b") is False
+        assert db.status_of(cache_key(spec)) == "pending"
+        assert not db.has_result(cache_key(spec))
+
+    def test_release_reopens_the_claim(self, db, computed):
+        spec, _ = computed[0]
+        key = cache_key(spec)
+        assert db.claim(spec)
+        assert db.release(key) is True
+        assert db.status_of(key) is None
+        assert db.claim(spec) is True
+
+    def test_release_never_touches_done_rows(self, db, computed):
+        spec, result = computed[0]
+        key = db.record(spec, result)
+        assert db.release(key) is False
+        assert db.has_result(key)
+
+    def test_record_promotes_a_claim(self, db, computed):
+        spec, result = computed[0]
+        db.claim(spec, owner="job-1")
+        key = db.record(spec, result, owner="job-1")
+        row = db.get(key)
+        assert row["status"] == "done"
+        assert row["owner"] == "job-1"
+        assert db.claim(spec) is False  # done rows are never re-claimed
+
+
+class TestRecord:
+    def test_row_carries_spec_fields_and_metrics(self, db, computed):
+        spec, result = computed[1]
+        key = db.record(spec, result, envelope_path="/x/y.json")
+        row = db.get(key)
+        assert row["cache_key"] == key == cache_key(spec)
+        assert row["kind"] == "single"
+        assert row["name"] == "libquantum"
+        assert row["mechanism"] == "chargecache"
+        assert row["standard"] == spec_standard(spec) == "DDR3-1600"
+        assert row["fingerprint"] == code_fingerprint()
+        assert row["envelope_path"] == "/x/y.json"
+        assert row["total_ipc"] == pytest.approx(result.total_ipc)
+        assert row["mem_cycles"] == result.mem_cycles
+        assert json.loads(row["spec_json"]) == spec.key_payload()
+
+    def test_record_is_idempotent(self, db, computed):
+        spec, result = computed[0]
+        key = db.record(spec, result)
+        first = db.get(key)
+        key2 = db.record(spec, result)
+        assert key2 == key
+        second = db.get(key)
+        assert len(db) == 1
+        assert second["total_ipc"] == first["total_ipc"]
+        assert second["updated_at"] >= first["updated_at"]
+
+    def test_spec_round_trips_through_the_row(self, db, computed):
+        spec, result = computed[1]
+        key = db.record(spec, result)
+        assert db.spec_for(key) == spec
+        assert db.spec_for("0" * 64) is None
+
+    def test_forget_drops_the_row(self, db, computed):
+        spec, result = computed[0]
+        key = db.record(spec, result)
+        assert db.forget(key) is True
+        assert db.get(key) is None
+        assert db.forget(key) is False
+
+
+class TestQuery:
+    @pytest.fixture
+    def populated(self, db, computed):
+        for spec, result in computed:
+            db.record(spec, result)
+        db.claim(workload_spec("mcf", "chargecache", TINY))
+        return db
+
+    def test_default_view_is_done_only(self, populated):
+        rows = populated.query()
+        assert len(rows) == 2
+        assert {r["status"] for r in rows} == {"done"}
+
+    def test_status_none_includes_pending(self, populated):
+        rows = populated.query(status=None)
+        assert len(rows) == 3
+        assert sum(r["status"] == "pending" for r in rows) == 1
+
+    def test_exact_match_filters_compose(self, populated):
+        rows = populated.query(mechanism="chargecache",
+                               name="libquantum", kind="single",
+                               standard="DDR3-1600", engine="event")
+        assert len(rows) == 1
+        assert rows[0]["mechanism"] == "chargecache"
+        assert populated.query(mechanism="lldram") == []
+
+    def test_limit_and_stable_order(self, populated):
+        rows = populated.query()
+        assert [r["mechanism"] for r in rows] == \
+            sorted(r["mechanism"] for r in rows)
+        assert len(populated.query(limit=1)) == 1
+
+    def test_counts(self, populated):
+        assert populated.count() == 3
+        assert populated.count("done") == 2
+        assert populated.count("pending") == 1
+
+
+class TestRunTable:
+    def test_default_columns(self, db, computed):
+        spec, result = computed[0]
+        db.record(spec, result)
+        columns, rows = build_run_table(db.query())
+        ids = [c["id"] for c in columns]
+        assert ids == list(QUERY_FIELDS) + ["status"] + \
+            list(METRIC_FIELDS)
+        assert len(rows) == 1
+        assert set(rows[0]) == set(ids)
+        assert rows[0]["name"] == "libquantum"
+
+    def test_explicit_column_selection(self, db, computed):
+        spec, result = computed[0]
+        db.record(spec, result)
+        columns, rows = build_run_table(db.query(),
+                                        columns=["name", "total_ipc"])
+        assert [c["id"] for c in columns] == ["name", "total_ipc"]
+        assert set(rows[0]) == {"name", "total_ipc"}
+
+
+class TestBackfill:
+    def test_import_indexes_every_envelope(self, tmp_path, computed):
+        root = tmp_path / "cache"
+        prev = (runner._disk_enabled, runner._disk_dir)
+        runner.configure_disk_cache(str(root))
+        runner.clear_memo()
+        try:
+            specs = [spec for spec, _ in computed]
+            for spec in specs:
+                run_spec_ex(spec)
+        finally:
+            runner.clear_memo()
+            runner.configure_disk_cache(prev[1], enabled=prev[0])
+
+        cache = RunCache(str(root))
+        # A corrupt envelope must be skipped, not imported or fatal.
+        with open(cache.path_for("0" * 64), "w",
+                  encoding="ascii") as fh:
+            fh.write("{not json")
+
+        db = ResultsDatabase(str(tmp_path / "results.sqlite"))
+        imported, skipped = db.import_run_cache(cache)
+        assert (imported, skipped) == (2, 1)
+        assert db.count("done") == 2
+        for spec, result in computed:
+            row = db.get(cache_key(spec))
+            assert row["owner"] == "import"
+            assert row["envelope_path"] == \
+                cache.path_for(cache_key(spec))
+            assert row["total_ipc"] == pytest.approx(result.total_ipc)
+
+        # Idempotent: re-import changes nothing.
+        again = db.import_run_cache(cache)
+        assert again == (2, 1)
+        assert db.count("done") == 2

@@ -1,0 +1,89 @@
+"""Tests for the advisory cross-process file lock."""
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service.locking import FileLock, LockTimeout
+
+
+class TestFileLock:
+    def test_acquire_release_cycle(self, tmp_path):
+        lock = FileLock(str(tmp_path / "db.lock"))
+        assert not lock.held
+        lock.acquire()
+        assert lock.held
+        assert os.path.exists(lock.path)
+        lock.release()
+        assert not lock.held
+        # Release is idempotent.
+        lock.release()
+
+    def test_context_manager(self, tmp_path):
+        lock = FileLock(str(tmp_path / "db.lock"))
+        with lock as held:
+            assert held is lock
+            assert lock.held
+        assert not lock.held
+
+    def test_reacquire_while_held_raises(self, tmp_path):
+        lock = FileLock(str(tmp_path / "db.lock"))
+        with lock:
+            with pytest.raises(RuntimeError, match="already held"):
+                lock.acquire()
+        # Releasable and reusable afterwards.
+        with lock:
+            assert lock.held
+
+    def test_second_instance_excluded_until_release(self, tmp_path):
+        path = str(tmp_path / "db.lock")
+        first = FileLock(path)
+        second = FileLock(path, timeout_s=0.15, poll_s=0.01)
+        with first:
+            started = time.monotonic()
+            with pytest.raises(LockTimeout):
+                second.acquire()
+            assert time.monotonic() - started >= 0.15
+        with second:  # freed now
+            assert second.held
+
+    def test_negative_timeout_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            FileLock(str(tmp_path / "db.lock"), timeout_s=-1)
+
+    def test_excludes_across_processes(self, tmp_path):
+        """A child process holding the lock blocks the parent; the
+        parent gets in as soon as the child lets go."""
+        path = str(tmp_path / "db.lock")
+        release_flag = str(tmp_path / "release-me")
+        script = (
+            "import os, sys, time\n"
+            "from repro.service.locking import FileLock\n"
+            "lock = FileLock(sys.argv[1])\n"
+            "with lock:\n"
+            "    print('locked', flush=True)\n"
+            "    while not os.path.exists(sys.argv[2]):\n"
+            "        time.sleep(0.01)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [os.path.join(os.getcwd(), "src"),
+                          env.get("PYTHONPATH")]))
+        child = subprocess.Popen(
+            [sys.executable, "-c", script, path, release_flag],
+            stdout=subprocess.PIPE, env=env, text=True)
+        try:
+            assert child.stdout.readline().strip() == "locked"
+            contender = FileLock(path, timeout_s=0.2, poll_s=0.01)
+            with pytest.raises(LockTimeout):
+                contender.acquire()
+            open(release_flag, "w").close()
+            assert child.wait(timeout=30) == 0
+            with FileLock(path, timeout_s=10.0):
+                pass
+        finally:
+            if child.poll() is None:
+                child.kill()
