@@ -1,0 +1,11 @@
+"""``python -m repro`` — the harness CLI without an installed script.
+
+Equivalent to the ``repro`` / ``chargecache-harness`` console scripts::
+
+    PYTHONPATH=src python -m repro calibrate --scale tiny
+"""
+
+from repro.harness.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

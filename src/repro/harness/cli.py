@@ -80,6 +80,7 @@ _EXPERIMENTS = {
     "fig11": lambda w, s, m=None: experiments.run_fig11(workloads=w, scale=s),
     "sec63": lambda w, s, m=None: experiments.run_sec63(scale=s),
     "table1": lambda w, s, m=None: experiments.run_table1(),
+    "calibrate": lambda w, s, m=None: experiments.run_calibrate(w, s),
     "scaling": lambda w, s, m=None: experiments.run_scaling(w, s),
     "standards": lambda w, s, m=None: experiments.run_standards(w, s),
     "energy": lambda w, s, m=None: experiments.run_energy(w, s),
@@ -87,6 +88,25 @@ _EXPERIMENTS = {
 
 #: Experiments that honour ``--mechanisms``.
 _MECHANISM_AWARE = experiments.MECHANISM_AWARE
+
+
+#: Named ``--scale`` presets (instruction-budget multipliers).
+_SCALE_PRESETS = {"tiny": 0.05, "small": 0.25, "half": 0.5, "full": 1.0}
+
+
+def _scale_arg(text: str) -> float:
+    preset = _SCALE_PRESETS.get(text)
+    if preset is not None:
+        return preset
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a multiplier or one of "
+            f"{'/'.join(sorted(_SCALE_PRESETS))}: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError("scale must be positive")
+    return value
 
 
 def _jobs_arg(text: str) -> int:
@@ -120,8 +140,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "'chargecache(entries=256)+nuat'; validated "
                              "eagerly and normalized so order-permuted "
                              "spellings share cache entries")
-    parser.add_argument("--scale", type=float, default=None,
-                        help="instruction-budget multiplier")
+    parser.add_argument("--scale", type=_scale_arg, default=None,
+                        metavar="FACTOR",
+                        help="instruction-budget multiplier, or a named "
+                             "preset: " + ", ".join(
+                                 f"{k}={v}" for k, v in
+                                 sorted(_SCALE_PRESETS.items(),
+                                        key=lambda kv: kv[1])))
+    parser.add_argument("--traces", nargs="+", default=None,
+                        metavar="PATH",
+                        help="trace files for the calibrate experiment "
+                             "(default: the bundled golden fixtures "
+                             "under tests/fixtures/traces/)")
     parser.add_argument("--engine", choices=list(ENGINES),
                         default=None,
                         help="simulation engine: 'event' (default) skips "
@@ -443,6 +473,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"warning: --mechanisms is ignored by "
                   f"{args.experiment} (honoured by: "
                   f"{', '.join(_MECHANISM_AWARE)})", file=sys.stderr)
+    if args.traces is not None:
+        import os
+        for path in args.traces:
+            if not os.path.isfile(path):
+                parser.error(f"--traces: no such file: {path}")
+        if args.experiment not in ("calibrate", "all"):
+            print(f"warning: --traces is ignored by {args.experiment} "
+                  f"(honoured by: calibrate)", file=sys.stderr)
+    # None restores the bundled default, so CLI calls are stateless
+    # even in-process (tests drive main() repeatedly).
+    experiments.set_calibration_traces(args.traces)
     scale = current_scale()
     if args.scale:
         scale = scale.scaled(args.scale)

@@ -52,8 +52,10 @@ from repro.harness.runner import (
     mix_spec,
     run_mix,
     run_scenario,
+    run_trace,
     run_workload,
     scenario_spec,
+    trace_spec,
     workload_spec,
 )
 from repro.harness.spec import RunSpec, dedupe_specs
@@ -764,6 +766,164 @@ def run_energy(workloads: Optional[Sequence[str]] = None,
 
 
 # ----------------------------------------------------------------------
+# Calibration: synthetic-workload fingerprints vs the reference table,
+# plus the bundled golden traces replayed through the full simulator
+# ----------------------------------------------------------------------
+
+#: Override for the trace files ``calibrate`` replays (None = bundled).
+_calibration_trace_paths: Optional[List[str]] = None
+
+
+def bundled_fixture_traces() -> List[str]:
+    """Paths of the golden ``tests/fixtures/traces/*.trace`` fixtures.
+
+    Resolved relative to this checkout first (``src/repro/harness/``
+    -> repo root), then the working directory; an installed package
+    without the test tree gets ``[]`` and ``calibrate`` simply skips
+    the trace-replay rows.
+    """
+    import glob
+    import os
+    here = os.path.abspath(__file__)
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(here))))  # harness -> repro -> src -> root
+    for base in (repo_root, os.getcwd()):
+        pattern = os.path.join(base, "tests", "fixtures", "traces",
+                               "*.trace")
+        found = sorted(glob.glob(pattern))
+        if found:
+            return found
+    return []
+
+
+def set_calibration_traces(paths: Optional[Sequence[str]]) -> None:
+    """Replace the trace files ``calibrate`` replays (None = bundled).
+
+    Module state (like :func:`set_default_jobs`) so the sweep
+    declaration in :data:`SWEEP_DECLARATIONS` and :func:`run_calibrate`
+    always agree on the trace set — the CLI's ``--traces`` flag sets
+    this once and both sides see it.
+    """
+    global _calibration_trace_paths
+    _calibration_trace_paths = list(paths) if paths is not None else None
+
+
+def calibration_traces() -> List[str]:
+    """The trace files the next ``calibrate`` will replay."""
+    if _calibration_trace_paths is not None:
+        return list(_calibration_trace_paths)
+    return bundled_fixture_traces()
+
+
+def _calibrate_specs(workloads: Optional[Sequence[str]],
+                     scale: Scale) -> List[RunSpec]:
+    """Baseline + ChargeCache replay of every calibration trace.
+
+    The synthetic-workload half of ``calibrate`` is a pure trace-level
+    analysis (no simulation), so only the trace replays appear in the
+    sweep; ``workloads`` is accepted for declaration-signature
+    uniformity.
+    """
+    del workloads
+    return [trace_spec(path, mech, scale)
+            for path in calibration_traces()
+            for mech in ("none", "chargecache")]
+
+
+#: Uniform calibrate-row key set (CSV columns come from the first row).
+_CALIBRATE_COLUMNS = (
+    "workload", "kind", "rltl_1ms", "ref_rltl_1ms", "d_rltl",
+    "rmpkc", "ref_rmpkc", "rmpkc_ratio",
+    "row_hit", "ref_row_hit", "d_row_hit",
+    "sim_row_hit", "sim_rmpkc", "cc_speedup", "status",
+)
+
+
+def _calibrate_row(**values) -> Dict:
+    row = {key: "" for key in _CALIBRATE_COLUMNS}
+    row.update(values)
+    return row
+
+
+def run_calibrate(workloads: Optional[Sequence[str]] = None,
+                  scale: Optional[Scale] = None) -> Dict:
+    """Workload fingerprint calibration (DESIGN.md section 2).
+
+    Two halves, one table:
+
+    * **synthetic rows** — every substitution-table workload is
+      fingerprinted by the trace-level pass
+      (:func:`repro.workloads.ingest.fingerprint_workload`) at the
+      reference provenance point (20k records, seed 1, fingerprint
+      defaults — deliberately *independent* of ``scale``, so the
+      deltas against :data:`~repro.workloads.ingest.reference
+      .REFERENCE_FINGERPRINTS` mean the same thing at every ``--scale``)
+      and reported as signed deltas with an ok/drift status.
+    * **trace rows** — each calibration trace (bundled golden fixtures
+      by default, :func:`set_calibration_traces` to override) is
+      fingerprinted the same way *and* replayed through the full
+      simulator (baseline + ChargeCache, at ``scale``), so the
+      trace-level model and the simulated system sit side by side.
+    """
+    from repro.workloads.ingest import (
+        DEFAULT_FINGERPRINT_RECORDS,
+        fingerprint_file,
+        fingerprint_workload,
+    )
+    from repro.workloads.ingest.reference import (
+        PAPER_AVG_RLTL_1MS,
+        REFERENCE_FINGERPRINTS,
+        REFERENCE_INTERVAL_MS,
+        fingerprint_delta,
+    )
+    scale = scale or current_scale()
+    names = list(workloads) if workloads is not None \
+        else list(WORKLOAD_NAMES)
+    traces = calibration_traces()
+    sweep = _prefetch(_calibrate_specs(workloads, scale))
+    rows = []
+    for name in names:
+        fp = fingerprint_workload(name)
+        ref = REFERENCE_FINGERPRINTS.get(name)
+        if ref is None:
+            rows.append(_calibrate_row(
+                workload=name, kind="synthetic",
+                rltl_1ms=fp.rltl(REFERENCE_INTERVAL_MS),
+                rmpkc=fp.rmpkc, row_hit=fp.row_hit_rate,
+                status="no-ref"))
+        else:
+            rows.append(_calibrate_row(
+                workload=name, kind="synthetic",
+                **fingerprint_delta(fp, ref)))
+    synthetic = list(rows)
+    for path in traces:
+        fp = fingerprint_file(path)
+        base = run_trace(path, "none", scale)
+        cc = run_trace(path, "chargecache", scale)
+        rows.append(_calibrate_row(
+            workload=fp.name, kind="trace",
+            rltl_1ms=fp.rltl(REFERENCE_INTERVAL_MS),
+            rmpkc=fp.rmpkc, row_hit=fp.row_hit_rate,
+            sim_row_hit=base.row_hit_rate,
+            sim_rmpkc=base.rmpkc(),
+            cc_speedup=(cc.total_ipc / base.total_ipc - 1.0
+                        if base.total_ipc else 0.0),
+            status="ingested"))
+    return {
+        "id": "calibrate",
+        "interval_ms": REFERENCE_INTERVAL_MS,
+        "fingerprint_records": DEFAULT_FINGERPRINT_RECORDS,
+        "avg_rltl_1ms": _mean(r["rltl_1ms"] for r in synthetic),
+        "paper_avg_rltl_1ms": PAPER_AVG_RLTL_1MS,
+        "drift": [r["workload"] for r in synthetic
+                  if r["status"] == "drift"],
+        "traces": list(traces),
+        "rows": rows,
+        "cache": sweep.annotation(),
+    }
+
+
+# ----------------------------------------------------------------------
 # Cross-experiment sweep declaration (the `all` command's shared pool)
 # ----------------------------------------------------------------------
 
@@ -784,6 +944,7 @@ SWEEP_DECLARATIONS = {
     "fig10": lambda w, s: _fig10_specs(("single", "eight"), w, s),
     "fig11": lambda w, s: _fig11_specs(("single", "eight"), w, s),
     "sec63": lambda w, s: _sec63_specs(s),
+    "calibrate": lambda w, s: _calibrate_specs(w, s),
     "scaling": lambda w, s: _scaling_specs(w, s),
     "standards": lambda w, s: _standards_specs(w, s),
     "energy": lambda w, s: _energy_specs(w, s),

@@ -142,9 +142,44 @@ def _render_scenario_matrix(result: Dict) -> str:
     return format_table(headers, table_rows, title=title)
 
 
+#: Calibrate columns rendered as percentages (fractions in the dict).
+_CALIBRATE_PERCENT_COLS = ("rltl_1ms", "ref_rltl_1ms", "d_rltl",
+                           "row_hit", "ref_row_hit", "d_row_hit",
+                           "sim_row_hit", "cc_speedup")
+
+
+def _render_calibrate(result: Dict) -> str:
+    """Fingerprint-calibration table plus the drift/average footer."""
+    rows = result.get("rows") or []
+    if not rows:
+        return str(result)
+    headers = list(rows[0])
+    table_rows = []
+    for row in rows:
+        cells = []
+        for h in headers:
+            value = row.get(h, "")
+            if h in _CALIBRATE_PERCENT_COLS and isinstance(value, float):
+                value = format_percent(value, 1)
+            cells.append(value)
+        table_rows.append(cells)
+    title = (f"calibrate: fingerprints @ "
+             f"{result.get('fingerprint_records', '?')} records, "
+             f"deltas at {result.get('interval_ms', '?')} ms RLTL")
+    table = format_table(headers, table_rows, title=title)
+    drift = result.get("drift", [])
+    footer = (f"avg 1ms-RLTL {format_percent(result['avg_rltl_1ms'], 1)} "
+              f"(paper Fig 4a: "
+              f"{format_percent(result['paper_avg_rltl_1ms'], 0)}); "
+              + (f"DRIFT: {', '.join(drift)}" if drift
+                 else "all workloads within tolerance"))
+    return f"{table}\n{footer}"
+
+
 _RENDERERS = {
     "fig6": _render_fig6,
     "sec6.3": _render_sec63,
+    "calibrate": _render_calibrate,
     "scaling": _render_scenario_matrix,
     "standards": _render_scenario_matrix,
     "energy": _render_scenario_matrix,

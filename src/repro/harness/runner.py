@@ -218,6 +218,29 @@ def scenario_spec(scenario: str, name: str, mechanism: str = "none",
                        scenario=scenario, **kwargs)
 
 
+def trace_spec(path: str, mechanism: str = "none",
+               scale: Optional[Scale] = None, *,
+               name: Optional[str] = None,
+               engine: Optional[str] = None, **kwargs) -> RunSpec:
+    """Spec for an ingested external trace on the single-core system.
+
+    The file is hashed here (SHA-256 of its bytes) and the digest -
+    not the path - becomes cache-key material, so the same trace
+    content is one cached run wherever the file lives, and editing the
+    file yields a fresh key.  ``name`` defaults to the file's stem and
+    is key material too: it names the workload in reports, and two
+    differently-named ingests of the same bytes are deliberately
+    distinct rows.
+    """
+    from repro.workloads.ingest import trace_file_sha256
+    digest = trace_file_sha256(path)
+    if name is None:
+        name = os.path.splitext(os.path.basename(path))[0]
+    return _build_spec("trace", name, mechanism, scale, engine,
+                       trace_sha256=digest,
+                       trace_path=os.path.abspath(path), **kwargs)
+
+
 def alone_specs_for_mix(mix: str, scale: Optional[Scale] = None, *,
                         seed: int = 1,
                         engine: Optional[str] = None) -> List[RunSpec]:
@@ -376,7 +399,11 @@ def _spec_config(spec: RunSpec) -> SimulationConfig:
                       warmup_cpu_cycles=scale.warmup_cpu_cycles,
                       engine=spec.engine)
     else:
-        cfg = build_config(spec.kind, spec.mechanism, scale,
+        # "trace" runs replay an ingested file on the paper's
+        # single-core platform (1 channel, open-row); everything else
+        # maps its own kind straight onto build_config's mode.
+        mode = "single" if spec.kind == "trace" else spec.kind
+        cfg = build_config(mode, spec.mechanism, scale,
                            cc_entries=spec.cc_entries,
                            cc_duration_ms=spec.cc_duration_ms,
                            cc_unbounded=spec.cc_unbounded,
@@ -402,9 +429,33 @@ def _spec_traces(spec: RunSpec, cfg: SimulationConfig) -> list:
         scen = scenarios.scenario(spec.scenario)
         return scenarios.scenario_traces(scen, spec.name, org,
                                          seed=spec.seed)
+    if spec.kind == "trace":
+        return [_load_trace_records(spec, org)]
     if spec.kind in ("alone", "single"):
         return [make_trace(spec.name, org, seed=spec.seed)]
     return make_mix_traces(spec.name, org, seed=spec.seed)
+
+
+def _load_trace_records(spec: RunSpec, org: Organization):
+    """Ingest and loop the external trace file a "trace" spec names.
+
+    The file is re-hashed and must still match the spec's
+    ``trace_sha256`` - the digest is the cache key's workload
+    identity, so replaying different bytes under it would poison the
+    content-addressed store.  A spec without a local path (e.g.
+    rebuilt from a service payload) can be answered from the cache but
+    not simulated.
+    """
+    from repro.cpu.trace import looped
+    from repro.workloads.ingest import ingest_trace_file
+    if spec.trace_path is None:
+        raise ValueError(
+            f"trace spec {spec.label()!r} has no trace_path; rebuild "
+            "it with trace_spec(path) to simulate (cache lookups work "
+            "without one)")
+    records = ingest_trace_file(spec.trace_path, org,
+                                expected_sha256=spec.trace_sha256)
+    return looped(records)
 
 
 def _spec_rltl(spec: RunSpec) -> Tuple[bool, float]:
@@ -524,6 +575,14 @@ def run_alone(name: str, scale: Optional[Scale] = None,
               seed: int = 1, engine: Optional[str] = None) -> RunResult:
     """One application alone on the eight-core platform (for WS)."""
     return run_spec(alone_spec(name, scale, seed=seed, engine=engine))
+
+
+def run_trace(path: str, mechanism: str = "none",
+              scale: Optional[Scale] = None, *,
+              engine: Optional[str] = None, **kwargs) -> RunResult:
+    """Replay an ingested external trace file (memoised by content)."""
+    return run_spec(trace_spec(path, mechanism, scale, engine=engine,
+                               **kwargs))
 
 
 def run_scenario(scenario: str, name: str, mechanism: str = "none",

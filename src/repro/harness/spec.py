@@ -44,8 +44,10 @@ DEFAULT_CC_TIME_SCALE = 8.0
 
 #: The run shapes the harness knows how to execute.  "scenario" runs
 #: name a platform from :mod:`repro.harness.scenarios` in the spec's
-#: ``scenario`` field; the other kinds are the paper's fixed platforms.
-RUN_KINDS = ("single", "eight", "alone", "scenario")
+#: ``scenario`` field; "trace" runs replay an ingested external trace
+#: file on the single-core platform (the file's content hash lives in
+#: ``trace_sha256``); the other kinds are the paper's fixed platforms.
+RUN_KINDS = ("single", "eight", "alone", "scenario", "trace")
 
 
 @dataclass(frozen=True)
@@ -122,6 +124,18 @@ class RunSpec:
     #: they are legitimate cache-key material; the code fingerprint
     #: covers the registry's definitions themselves.
     scenario: Optional[str] = None
+    #: SHA-256 of the ingested trace file's bytes (kind "trace" only).
+    #: This is what keys the run: two files with the same content are
+    #: the same workload wherever they live, and an edited file is a
+    #: different workload.
+    trace_sha256: Optional[str] = None
+    #: Where the trace file currently lives (kind "trace" only).
+    #: Execution state, NOT identity: :meth:`key_payload` excludes it,
+    #: and the runner re-hashes the file at execution time to prove it
+    #: still matches ``trace_sha256``.  ``None`` is legal - a spec
+    #: rebuilt from a wire payload knows its content hash but not a
+    #: local path, and can still be answered from the cache.
+    trace_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in RUN_KINDS:
@@ -131,6 +145,17 @@ class RunSpec:
             raise ValueError(
                 "scenario runs (and only scenario runs) must name a "
                 f"scenario: kind={self.kind!r}, scenario={self.scenario!r}")
+        if self.kind == "trace":
+            digest = self.trace_sha256
+            if (not isinstance(digest, str) or len(digest) != 64
+                    or any(c not in "0123456789abcdef" for c in digest)):
+                raise ValueError(
+                    "trace runs must carry the trace file's SHA-256 "
+                    f"(64 lowercase hex chars), got {digest!r}")
+        elif self.trace_sha256 is not None or self.trace_path is not None:
+            raise ValueError(
+                f"trace_sha256/trace_path are only meaningful for "
+                f"kind='trace', not kind={self.kind!r}")
         # Eager mechanism validation: a typo, bad parameter, or an
         # inline/shorthand conflict fails at declaration time, not
         # inside a pool worker mid-sweep (or at cache-key time).
@@ -152,6 +177,12 @@ class RunSpec:
         from repro.core.registry import extract_run_params
         payload = {}
         for f in fields(self):
+            # trace_path is where the bytes happen to live, not what
+            # they are; trace_sha256 already commits to the content.
+            # Keying the path would split identical runs across keys
+            # and miss-cache a file that merely moved.
+            if f.name == "trace_path":
+                continue
             value = getattr(self, f.name)
             if f.name == "scale":
                 value = {sf.name: getattr(value, sf.name)
@@ -168,6 +199,8 @@ class RunSpec:
         parts = [self.kind, self.name, self.mechanism]
         if self.scenario is not None:
             parts.insert(1, self.scenario)
+        if self.trace_sha256 is not None:
+            parts.insert(2, self.trace_sha256[:8])
         for attr, tag in (("cc_entries", "e"), ("cc_duration_ms", "d"),
                           ("row_policy", "rp")):
             value = getattr(self, attr)

@@ -50,6 +50,20 @@ def rmpkc(activations: int, cpu_cycles: int) -> float:
     return activations * 1000.0 / cpu_cycles
 
 
+def rmpki(activations: int, instructions: int) -> float:
+    """Row misses per kilo instruction - the trace-level RMPKC proxy.
+
+    A trace has no clock until it is simulated; under the IPC=1
+    idealization the fingerprint pass uses (one CPU cycle per
+    instruction), misses-per-kilo-instruction *is* misses-per-kilo-
+    cycle, so workload fingerprints and simulated RMPKC are directly
+    comparable.
+    """
+    if instructions <= 0:
+        return 0.0
+    return activations * 1000.0 / instructions
+
+
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean of positive values (0 if any value <= 0)."""
     if not values:

@@ -17,6 +17,15 @@ from repro.workloads.spec_like import (
     make_trace,
 )
 from repro.workloads.mixes import MIX_NAMES, mix_composition, make_mix_traces
+from repro.workloads.ingest import (
+    TraceFormatError,
+    WorkloadFingerprint,
+    fingerprint_file,
+    fingerprint_records,
+    fingerprint_workload,
+    ingest_trace_file,
+    trace_file_sha256,
+)
 
 __all__ = [
     "stream_trace",
@@ -32,4 +41,11 @@ __all__ = [
     "MIX_NAMES",
     "mix_composition",
     "make_mix_traces",
+    "TraceFormatError",
+    "WorkloadFingerprint",
+    "fingerprint_file",
+    "fingerprint_records",
+    "fingerprint_workload",
+    "ingest_trace_file",
+    "trace_file_sha256",
 ]

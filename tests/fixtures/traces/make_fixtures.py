@@ -1,0 +1,113 @@
+"""Regenerate the bundled golden trace fixtures (committed files).
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/fixtures/traces/make_fixtures.py
+
+The fixtures are small external traces in the ingestion line format
+(``<cycle> <byte-address> <R|W>``), deterministic by construction (no
+RNG seeds to drift), each exercising one locality regime the
+fingerprint pass and the simulator distinguish.  Note the semantics:
+an ingested trace is a **core-level access stream** - the repro
+replays it through its own LLC, so lines with short-term reuse
+(hotrow) are absorbed before DRAM while distinct-line patterns
+(streaming, scattered) reach the memory controller:
+
+* ``streaming.trace`` - one sequential stream over distinct lines:
+  high row-hit rate at trace level and in DRAM (walks each open row's
+  columns end to end), high RLTL.
+* ``pingpong.trace``  - two interleaved streams whose rows alias into
+  the same banks: every access is a row conflict on a just-precharged
+  row - near-zero row-hit rate but very high RLTL (ChargeCache's
+  best case).
+* ``hotrow.trace``    - bursts over a few hot rows with cold
+  excursions: high trace-level row-hit rate, but the reused lines are
+  LLC-resident, so little of it reaches DRAM (hmmer-like).
+* ``scattered.trace`` - an LCG walk over a wide footprint: low RLTL,
+  low row-hit rate (mcf/omnetpp-like).
+
+Addresses are 64 B-aligned byte addresses inside the paper's
+single-channel organization (8 banks x 64K rows x 128-line rows).
+Cycles advance by a fixed per-pattern gap, so every fixture is
+monotonic.
+"""
+
+import os
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINE = 64            # bytes per cache line
+ROW_LINES = 128      # lines per row in the default organization
+
+
+def _write(name, rows):
+    path = os.path.join(HERE, name)
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(f"# golden fixture: {name} (see make_fixtures.py)\n")
+        for cycle, line_addr, op in rows:
+            fh.write(f"{cycle} {line_addr * LINE:#x} {op}\n")
+    print(f"wrote {path} ({len(rows)} records)")
+
+
+def _line(row, bank, col):
+    """Cache-line address for (row, bank, col) under the default
+    RoBaRaCoCh mapping (1 channel, 1 rank: [row][bank:3][col:7])."""
+    return (row << 10) | (bank << 7) | col
+
+
+def streaming(n=720):
+    # Consecutive line addresses: cols 0..127 of bank 0, then bank 1,
+    # ... - every line distinct (LLC-cold), 127 row hits per row.
+    rows, cycle = [], 0
+    for i in range(n):
+        cycle += 8
+        op = "W" if i % 8 == 7 else "R"
+        rows.append((cycle, i, op))
+    return rows
+
+
+def pingpong(n=720):
+    # Two streams whose base rows alias into the same bank sequence;
+    # alternating accesses re-activate a row precharged moments ago.
+    rows, cycle = [], 0
+    for i in range(n):
+        cycle += 8
+        stream, pos = i % 2, i // 2
+        base = _line(64 * stream, 0, 0)
+        op = "W" if stream == 1 and pos % 4 == 3 else "R"
+        rows.append((cycle, base + pos * 4, op))
+    return rows
+
+
+def hotrow(n=640, burst=16):
+    # Bursts of `burst` accesses walk one hot row's columns (burst-1
+    # trace-level row hits each), rotating over 4 hot (row, bank)
+    # pairs; every 4th burst ends with a cold excursion to a far row.
+    hot = [(3, 0), (5, 2), (9, 4), (12, 6)]
+    rows, cycle = [], 0
+    for i in range(n):
+        cycle += 12
+        b = i // burst            # burst index
+        row, bank = hot[b % 4]
+        if i % (4 * burst) == 4 * burst - 1:
+            rows.append((cycle, _line(1000 + b, 7, 0), "R"))
+        else:
+            op = "W" if i % 10 == 9 else "R"
+            rows.append((cycle, _line(row, bank, (i * 3) % ROW_LINES), op))
+    return rows
+
+
+def scattered(n=560):
+    rows, cycle, x = [], 0, 12345
+    for i in range(n):
+        cycle += 20
+        x = (1103515245 * x + 12345) % (1 << 31)  # C89 rand() LCG
+        op = "W" if x % 8 == 0 else "R"
+        rows.append((cycle, x % (1 << 20), op))
+    return rows
+
+
+if __name__ == "__main__":
+    _write("streaming.trace", streaming())
+    _write("pingpong.trace", pingpong())
+    _write("hotrow.trace", hotrow())
+    _write("scattered.trace", scattered())

@@ -86,7 +86,10 @@ class TestCacheKey:
             "seed": 4,
             "engine": "dense",
         }
-        assert set(variants) | {"scenario"} == \
+        # trace_sha256/trace_path have dedicated cases below: the hash
+        # is key material, the path deliberately is not.
+        assert set(variants) | {"scenario", "trace_sha256",
+                                "trace_path"} == \
             {f.name for f in dataclasses.fields(RunSpec)}, \
             "new RunSpec field needs a key-sensitivity case here"
         keys = {base}
@@ -96,6 +99,20 @@ class TestCacheKey:
             assert key != base, f"{field} change did not change the key"
             keys.add(key)
         assert len(keys) == len(variants) + 1  # all pairwise distinct
+
+    def test_trace_field_key_semantics(self):
+        """The trace content hash is key material; the path is
+        location only — the same bytes must hit the same envelope
+        wherever the file lives."""
+        trace = dataclasses.replace(SPEC, kind="trace",
+                                    trace_sha256="a" * 64,
+                                    trace_path="/data/a.trace")
+        other_bytes = dataclasses.replace(trace,
+                                          trace_sha256="b" * 64)
+        moved = dataclasses.replace(trace,
+                                    trace_path="/elsewhere/b.trace")
+        assert cache_key(other_bytes) != cache_key(trace)
+        assert cache_key(moved) == cache_key(trace)
 
     def test_scenario_field_changes_key(self):
         """The scenario name is platform identity (kind and scenario

@@ -1,19 +1,67 @@
-"""Test-only helpers, most importantly an *independent* DRAM command
-legality checker.
+"""Test-only helpers: an *independent* DRAM command legality checker,
+and the shared tiny-trace factory.
 
 The simulator enforces timing constraints in its bank/rank/channel
 state machines; the checker below re-verifies an issued-command log
 from scratch with its own bookkeeping, so a bug in the simulator's
 enforcement cannot hide itself.
+
+:func:`tiny_trace` / :func:`write_trace` factor the repeated "build a
+small deterministic trace, write it, ingest it" dance out of the
+ingestion, fingerprint and harness tests; :func:`tiny_internal` is the
+same idea for the simulator's internal record type.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Iterable, List
+from typing import Iterable, List, Optional, Sequence
 
+from repro.cpu.trace import TraceRecord
 from repro.dram.commands import Command, IssuedCommand
 from repro.dram.timing import TimingParameters
+from repro.workloads.ingest import MemTraceRecord, write_mem_trace
+
+
+def tiny_trace(n: int = 32, *, gap: int = 4, start: int = 0x1000,
+               stride: int = 64,
+               write_every: Optional[int] = 4) -> List[MemTraceRecord]:
+    """A small deterministic external-format trace (sequential stream).
+
+    ``n`` records, ``gap`` cycles apart, byte addresses ``start``,
+    ``start + stride``, ...; every ``write_every``-th record is a
+    write (``None`` = all reads).
+    """
+    records = []
+    cycle = 0
+    for i in range(n):
+        cycle += gap
+        is_write = (write_every is not None
+                    and i % write_every == write_every - 1)
+        records.append(MemTraceRecord(cycle, start + i * stride,
+                                      is_write))
+    return records
+
+
+def write_trace(path, records: Optional[Sequence[MemTraceRecord]] = None,
+                **kwargs) -> str:
+    """Write ``records`` (default: ``tiny_trace(**kwargs)``) to
+    ``path`` in the external ``<cycle> <address> <R|W>`` line format;
+    returns ``str(path)``."""
+    if records is None:
+        records = tiny_trace(**kwargs)
+    write_mem_trace(str(path), records)
+    return str(path)
+
+
+def tiny_internal(n: int = 100, *, bubbles: int = 0, start_line: int = 0,
+                  stride: int = 1,
+                  write_every: Optional[int] = None) -> List[TraceRecord]:
+    """A small deterministic internal-format trace (sequential lines)."""
+    return [TraceRecord(bubbles, start_line + i * stride,
+                        write_every is not None
+                        and i % write_every == write_every - 1)
+            for i in range(n)]
 
 
 class CommandLogViolation(AssertionError):

@@ -236,3 +236,41 @@ class TestBackfill:
         again = db.import_run_cache(cache)
         assert again == (2, 1)
         assert db.count("done") == 2
+
+    def test_import_survives_every_corruption_shape(self, tmp_path,
+                                                    computed):
+        """A hostile cache directory must never poison the store:
+        each malformed envelope is counted as skipped, the good one
+        still lands."""
+        root = tmp_path / "cache"
+        cache = RunCache(str(root))
+        spec, result = computed[0]
+        good_key = cache_key(spec)
+        cache.put(good_key, spec, result)
+        with open(cache.path_for(good_key)) as fh:
+            good = json.load(fh)
+
+        def plant(key, envelope):
+            with open(cache.path_for(key), "w",
+                      encoding="ascii") as fh:
+                if isinstance(envelope, str):
+                    fh.write(envelope)
+                else:
+                    json.dump(envelope, fh)
+
+        plant("1" * 64, "{truncated")                  # not JSON
+        plant("2" * 64, [1, 2, 3])                     # not an object
+        plant("3" * 64, {**good, "schema": 99})        # wrong schema
+        plant("4" * 64, {**good,                       # unknown field
+                         "spec": {**good["spec"], "bogus": 1}})
+        plant("5" * 64, {**good,                       # bad trace sha
+                         "spec": {**good["spec"], "kind": "trace",
+                                  "trace_sha256": "nothex"}})
+        missing = dict(good)
+        del missing["result"]
+        plant("6" * 64, missing)                       # no result
+
+        db = ResultsDatabase(str(tmp_path / "results.sqlite"))
+        assert db.import_run_cache(cache) == (1, 6)
+        assert db.count("done") == 1
+        assert db.get(good_key)["name"] == "libquantum"

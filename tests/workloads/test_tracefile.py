@@ -86,8 +86,8 @@ class TestAnalysis:
         assert summary.dependent_fraction == 1.0
 
     def test_intensity_metric(self, org):
-        from repro.cpu.trace import TraceRecord
-        records = [TraceRecord(9, i, False) for i in range(100)]
+        from tests.helpers import tiny_internal
+        records = tiny_internal(100, bubbles=9)
         summary = analyze_trace(records)
         assert summary.accesses_per_kilo_instruction == pytest.approx(100.0)
 
