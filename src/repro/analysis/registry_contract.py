@@ -1,0 +1,249 @@
+"""Rule ``registry-contract``: registered mechanisms honor fork/replay.
+
+Batched replay (DESIGN.md section 8) forks every mechanism's state at
+divergence points via ``fork_state()``/``fork_for_replay()``.  The
+``LatencyMechanism`` base provides a generic ``fork_state`` that
+re-constructs ``type(self)(self.timing)`` — correct only for classes
+whose ``__init__`` takes nothing beyond ``timing``.  A mechanism with
+extra constructor state that inherits the generic fork silently drops
+that state on every replay, which is exactly the bug class this rule
+pins down statically:
+
+* every ``@register_mechanism`` factory/class must resolve to a
+  mechanism class, and that class must either define its own
+  ``fork_state``/``fork_for_replay`` or opt out with
+  ``supports_decision_replay = False`` whenever its ``__init__``
+  carries state the generic fork cannot rebuild;
+* the ``params=`` dataclass named at the registration site must define
+  ``validate()`` — the registry calls it on every parse, so a missing
+  method is a latent AttributeError on the first bad config.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Set
+
+from repro.analysis.base import (
+    Checker,
+    Finding,
+    Module,
+    Project,
+    import_map,
+    resolve,
+)
+
+FORK_METHODS = ("fork_state", "fork_for_replay")
+
+
+def _registration_calls(module: Module) -> Iterable[ast.AST]:
+    """(decorated def/class, decorator Call) pairs in ``module``."""
+    imports = import_map(module.tree)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+            continue
+        for deco in node.decorator_list:
+            call = deco if isinstance(deco, ast.Call) else None
+            target = call.func if call else deco
+            name = resolve(target, imports)
+            if name is None:
+                continue
+            if name.split(".")[-1] == "register_mechanism":
+                yield node, call
+
+
+def _own_methods(cls: ast.ClassDef) -> Set[str]:
+    return {stmt.name for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef))}
+
+
+def _opts_out(cls: ast.ClassDef) -> bool:
+    """True when the class body sets supports_decision_replay = False."""
+    for stmt in cls.body:
+        value = None
+        target = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            target, value = stmt.target, stmt.value
+        if isinstance(target, ast.Name) \
+                and target.id == "supports_decision_replay" \
+                and isinstance(value, ast.Constant) \
+                and value.value is False:
+            return True
+    return False
+
+
+def _init_param_count(cls: ast.ClassDef) -> Optional[int]:
+    """Positional-parameter count of the class's own ``__init__``."""
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) \
+                and stmt.name == "__init__":
+            return len(stmt.args.args) + len(stmt.args.posonlyargs)
+    return None
+
+
+class RegistryContractChecker(Checker):
+    rule = "registry-contract"
+    description = ("@register_mechanism classes must support "
+                   "fork/replay and validate() their params")
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            for node, call in _registration_calls(module):
+                yield from self._check_site(project, module, node, call)
+
+    def _check_site(self, project: Project, module: Module,
+                    node: ast.AST, call: Optional[ast.Call]
+                    ) -> Iterable[Finding]:
+        mech = self._mechanism_class(project, node)
+        if mech is None:
+            yield self.finding(
+                module, node,
+                f"cannot resolve the mechanism class built by "
+                f"'{node.name}'; annotate the factory's return type "
+                f"with the mechanism class so the fork/replay "
+                f"contract is checkable")
+        else:
+            yield from self._check_fork_contract(project, module,
+                                                 node, mech)
+        if call is not None:
+            yield from self._check_params(project, module, node, call)
+
+    # -- mechanism-class resolution ------------------------------------
+
+    def _mechanism_class(self, project: Project,
+                         node: ast.AST) -> Optional[ast.ClassDef]:
+        if isinstance(node, ast.ClassDef):
+            return node
+        annotation = node.returns
+        name: Optional[str] = None
+        if isinstance(annotation, ast.Constant) \
+                and isinstance(annotation.value, str):
+            name = annotation.value.split(".")[-1]
+        elif isinstance(annotation, (ast.Name, ast.Attribute)):
+            dotted = ast.unparse(annotation)
+            name = dotted.split(".")[-1]
+        if name is None:
+            # Fall back to `return SomeClass(...)` in the factory body.
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Return) \
+                        and isinstance(stmt.value, ast.Call) \
+                        and isinstance(stmt.value.func, ast.Name):
+                    name = stmt.value.func.id
+                    break
+        if name is None:
+            return None
+        return project.find_class(name)
+
+    # -- fork/replay protocol ------------------------------------------
+
+    def _check_fork_contract(self, project: Project, module: Module,
+                             node: ast.AST, mech: ast.ClassDef
+                             ) -> Iterable[Finding]:
+        if _opts_out(mech):
+            return
+        own = _own_methods(mech)
+        own_forks = [m for m in FORK_METHODS if m in own]
+        init_params = _init_param_count(mech)
+        if init_params is not None and init_params > 2 \
+                and not own_forks:
+            # __init__(self, timing, more...) + inherited generic fork
+            # == dropped constructor state on every replay.
+            yield self.finding(
+                module, node,
+                f"mechanism class '{mech.name}' has an __init__ with "
+                f"extra constructor state but defines neither "
+                f"{FORK_METHODS[0]} nor {FORK_METHODS[1]}; the "
+                f"inherited generic fork_state would drop that state "
+                f"-- implement the fork methods or set "
+                f"supports_decision_replay = False")
+            return
+        if own_forks:
+            return
+        if self._inherits_forks(project, mech, set()):
+            return
+        yield self.finding(
+            module, node,
+            f"mechanism class '{mech.name}' defines neither "
+            f"{FORK_METHODS[0]} nor {FORK_METHODS[1]} and no "
+            f"resolvable base provides them; implement them or set "
+            f"supports_decision_replay = False")
+
+    def _inherits_forks(self, project: Project, cls: ast.ClassDef,
+                        seen: Set[str]) -> bool:
+        for base in cls.bases:
+            name = None
+            if isinstance(base, ast.Name):
+                name = base.id
+            elif isinstance(base, ast.Attribute):
+                name = base.attr
+            if name is None or name in seen:
+                continue
+            seen.add(name)
+            parent_cls = project.find_class(name)
+            if parent_cls is None:
+                continue
+            if any(m in _own_methods(parent_cls)
+                   for m in FORK_METHODS):
+                return True
+            if self._inherits_forks(project, parent_cls, seen):
+                return True
+        return False
+
+    # -- params dataclass ----------------------------------------------
+
+    def _check_params(self, project: Project, module: Module,
+                      node: ast.AST, call: ast.Call
+                      ) -> Iterable[Finding]:
+        params_arg = None
+        for kw in call.keywords:
+            if kw.arg == "params":
+                params_arg = kw.value
+        if params_arg is None \
+                or (isinstance(params_arg, ast.Constant)
+                    and params_arg.value is None):
+            return
+        name = None
+        if isinstance(params_arg, ast.Name):
+            name = params_arg.id
+        elif isinstance(params_arg, ast.Attribute):
+            name = params_arg.attr
+        if name is None:
+            return
+        params_cls = project.find_class(name)
+        if params_cls is None:
+            yield self.finding(
+                module, node,
+                f"params class '{name}' for '{node.name}' is not "
+                f"defined in the linted tree, so its validate() "
+                f"contract cannot be checked")
+            return
+        if self._has_validate(project, params_cls, set()):
+            return
+        yield self.finding(
+            module, node,
+            f"params class '{params_cls.name}' does not define "
+            f"validate(); the registry calls params.validate() on "
+            f"every parse")
+
+    def _has_validate(self, project: Project, cls: ast.ClassDef,
+                      seen: Set[str]) -> bool:
+        if "validate" in _own_methods(cls):
+            return True
+        for base in cls.bases:
+            name = None
+            if isinstance(base, ast.Name):
+                name = base.id
+            elif isinstance(base, ast.Attribute):
+                name = base.attr
+            if name is None or name in seen:
+                continue
+            seen.add(name)
+            parent_cls = project.find_class(name)
+            if parent_cls is not None \
+                    and self._has_validate(project, parent_cls, seen):
+                return True
+        return False

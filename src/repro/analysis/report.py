@@ -1,0 +1,39 @@
+"""Reporters: render a :class:`LintReport` as text or JSON.
+
+The text form is the compiler-style ``file:line:rule: message`` lines
+CI logs and editors understand; the JSON form is the machine-readable
+artifact the ``static-analysis`` CI job uploads so a failing run's
+findings can be inspected without re-running the linter.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.analysis.engine import LintReport
+
+#: Bump when the JSON report shape changes.
+REPORT_SCHEMA = 1
+
+
+def render_text(report: LintReport) -> str:
+    lines = [finding.format() for finding in report.findings]
+    noun = "finding" if len(report.findings) == 1 else "findings"
+    lines.append(
+        f"repro lint: {len(report.findings)} {noun} in "
+        f"{report.files_checked} files "
+        f"({report.pragmas_seen} pragmas)")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    payload: Dict[str, object] = {
+        "schema": REPORT_SCHEMA,
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "pragmas_seen": report.pragmas_seen,
+        "findings": [finding.to_json()
+                     for finding in report.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,198 @@
+"""Rule ``spec-keys``: every RunSpec field is classified key material.
+
+Cache keys are ``sha256(schema, code fingerprint, key_payload)``
+(DESIGN.md section 4).  ``key_payload()`` iterates ``fields(self)``,
+so a *new* RunSpec field flows into keys automatically — unless
+someone adds a skip branch, or relies on a default that two different
+semantic configurations share.  The ``trace_path`` precedent shows the
+other direction: some fields are genuinely location-only (the runner
+re-hashes the trace bytes into ``trace_sha256``) and must be excluded
+*deliberately*.
+
+The rule therefore requires the spec module to carry an explicit,
+exhaustive classification:
+
+* a ``LOCATION_ONLY`` set naming fields excluded from key material;
+* a ``KEY_MATERIAL`` tuple naming every field that is key material;
+* the two partition the dataclass's fields exactly — an unclassified,
+  doubly-classified or stale name is a finding, so adding a field
+  without deciding its cache-key role fails CI;
+* any ``if f.name == ...: continue`` guard inside ``key_payload``
+  must only skip names that ``LOCATION_ONLY`` declares.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.base import Checker, Finding, Module, Project
+
+SPEC_CLASS = "RunSpec"
+
+
+def _string_elements(node: ast.AST) -> Optional[List[str]]:
+    """The literal strings in a set/tuple/list/frozenset(...) display."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("frozenset", "set", "tuple") \
+            and len(node.args) == 1:
+        node = node.args[0]
+    if not isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        return None
+    values = []
+    for elt in node.elts:
+        if not (isinstance(elt, ast.Constant)
+                and isinstance(elt.value, str)):
+            return None
+        values.append(elt.value)
+    return values
+
+
+def _module_const(module: Module, name: str
+                  ) -> Optional[Tuple[ast.AST, List[str]]]:
+    for stmt in module.tree.body:
+        value = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name) \
+                and stmt.targets[0].id == name:
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) \
+                and isinstance(stmt.target, ast.Name) \
+                and stmt.target.id == name:
+            value = stmt.value
+        if value is not None:
+            elements = _string_elements(value)
+            if elements is not None:
+                return stmt, elements
+    return None
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> List[Tuple[str, ast.AST]]:
+    fields = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) \
+                and isinstance(stmt.target, ast.Name):
+            annotation = ast.unparse(stmt.annotation)
+            if "ClassVar" in annotation:
+                continue
+            fields.append((stmt.target.id, stmt))
+    return fields
+
+
+class SpecKeysChecker(Checker):
+    rule = "spec-keys"
+    description = ("RunSpec fields must be exhaustively classified as "
+                   "KEY_MATERIAL or LOCATION_ONLY")
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef) \
+                        and node.name == SPEC_CLASS:
+                    yield from self._check_spec(module, node)
+
+    def _check_spec(self, module: Module, cls: ast.ClassDef
+                    ) -> Iterable[Finding]:
+        fields = _dataclass_fields(cls)
+        field_names = {name for name, _ in fields}
+
+        location = _module_const(module, "LOCATION_ONLY")
+        material = _module_const(module, "KEY_MATERIAL")
+        if location is None:
+            yield self.finding(
+                module, cls,
+                f"module defining {SPEC_CLASS} must declare a "
+                f"LOCATION_ONLY set of field-name literals naming the "
+                f"fields excluded from cache-key material")
+        if material is None:
+            yield self.finding(
+                module, cls,
+                f"module defining {SPEC_CLASS} must declare a "
+                f"KEY_MATERIAL tuple of field-name literals naming "
+                f"every cache-key field")
+        if location is None or material is None:
+            return
+
+        loc_node, loc_names = location
+        mat_node, mat_names = material
+
+        for name in sorted(set(loc_names) & set(mat_names)):
+            yield self.finding(
+                module, loc_node,
+                f"field '{name}' appears in both LOCATION_ONLY and "
+                f"KEY_MATERIAL; a field has exactly one cache-key "
+                f"role")
+        for name in sorted(set(loc_names) - field_names):
+            yield self.finding(
+                module, loc_node,
+                f"LOCATION_ONLY names '{name}', which is not a field "
+                f"of {SPEC_CLASS}; remove the stale entry")
+        for name in sorted(set(mat_names) - field_names):
+            yield self.finding(
+                module, mat_node,
+                f"KEY_MATERIAL names '{name}', which is not a field "
+                f"of {SPEC_CLASS}; remove the stale entry")
+        for name in mat_names:
+            if mat_names.count(name) > 1:
+                yield self.finding(
+                    module, mat_node,
+                    f"KEY_MATERIAL lists '{name}' more than once")
+                break
+
+        classified = set(loc_names) | set(mat_names)
+        for name, stmt in fields:
+            if name not in classified:
+                yield self.finding(
+                    module, stmt,
+                    f"{SPEC_CLASS} field '{name}' is classified "
+                    f"neither KEY_MATERIAL nor LOCATION_ONLY; decide "
+                    f"whether it affects cache keys and add it to "
+                    f"exactly one set")
+
+        yield from self._check_key_payload(module, cls,
+                                           set(loc_names))
+
+    def _check_key_payload(self, module: Module, cls: ast.ClassDef,
+                           location_only: Set[str]
+                           ) -> Iterable[Finding]:
+        """Skip branches in key_payload may only drop LOCATION_ONLY."""
+        payload = None
+        for stmt in cls.body:
+            if isinstance(stmt, ast.FunctionDef) \
+                    and stmt.name == "key_payload":
+                payload = stmt
+        if payload is None:
+            yield self.finding(
+                module, cls,
+                f"{SPEC_CLASS} does not define key_payload(); the "
+                f"cache cannot derive keys without it")
+            return
+        for node in ast.walk(payload):
+            if not isinstance(node, ast.If):
+                continue
+            has_skip = any(isinstance(sub, ast.Continue)
+                           for sub in ast.walk(node))
+            if not has_skip:
+                continue
+            for name in self._compared_literals(node.test):
+                if name not in location_only:
+                    yield self.finding(
+                        module, node,
+                        f"key_payload() skips field '{name}' which is "
+                        f"not declared LOCATION_ONLY; undeclared "
+                        f"skips silently drop key material")
+
+    @staticmethod
+    def _compared_literals(test: ast.AST) -> List[str]:
+        names = []
+        for node in ast.walk(test):
+            if isinstance(node, ast.Compare):
+                for comp in [node.left] + list(node.comparators):
+                    if isinstance(comp, ast.Constant) \
+                            and isinstance(comp.value, str):
+                        names.append(comp.value)
+                    else:
+                        elements = _string_elements(comp)
+                        if elements:
+                            names.extend(elements)
+        return names

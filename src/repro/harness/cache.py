@@ -420,7 +420,7 @@ class RunCache:
                 except OSError:
                     pass
         except OSError:
-            return time.time()
+            return time.time()  # repro: allow(determinism) -- GC age fallback, never keys results
 
     def gc(self, fingerprint: Optional[str] = None,
            dry_run: bool = False) -> GCReport:
@@ -436,7 +436,8 @@ class RunCache:
         worktrees, another checkout's perfectly reachable entries look
         stale from here — use ``dry_run`` first in that setup (the
         entries are only a recompute away, never wrong, so the cost
-        of an over-eager gc is time, not correctness).  Stray ``.tmp`` files from crashed writers are
+        of an over-eager gc is time, not correctness).  Stray
+        ``.tmp`` files from crashed writers are
         swept once they are older than :data:`TMP_SWEEP_AGE_S` (young
         temps may belong to an in-flight :meth:`put` in another
         process and are left alone).  ``dry_run=True`` reports

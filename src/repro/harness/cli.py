@@ -446,6 +446,11 @@ def _query_main(argv: List[str]) -> int:
     return 0
 
 
+def _lint_main(argv: List[str]) -> int:
+    from repro.analysis.cli import main as lint_main
+    return lint_main(argv)
+
+
 #: Service/maintenance subcommands dispatched before the experiment
 #: parser (they have their own argument grammars).
 _SUBCOMMANDS = {
@@ -453,6 +458,7 @@ _SUBCOMMANDS = {
     "serve": _serve_main,
     "submit": _submit_main,
     "query": _query_main,
+    "lint": _lint_main,
 }
 
 

@@ -49,6 +49,23 @@ DEFAULT_CC_TIME_SCALE = 8.0
 #: ``trace_sha256``); the other kinds are the paper's fixed platforms.
 RUN_KINDS = ("single", "eight", "alone", "scenario", "trace")
 
+#: RunSpec fields that are deliberately *excluded* from cache-key
+#: material.  Each entry is a conscious decision with a reason (see
+#: the field's own docstring); ``repro lint``'s spec-keys rule and the
+#: import-time guard below force every new field to be classified
+#: here or in :data:`KEY_MATERIAL` — never silently.
+LOCATION_ONLY = frozenset({"trace_path"})
+
+#: Every RunSpec field that IS cache-key material, in declaration
+#: order.  Together with :data:`LOCATION_ONLY` this partitions the
+#: dataclass exactly; :func:`_check_key_classification` refuses to
+#: import otherwise, so adding a field without deciding its cache-key
+#: role fails every test run, not just the linter.
+KEY_MATERIAL = ("kind", "name", "mechanism", "scale", "enable_rltl",
+                "row_policy", "cc_entries", "cc_duration_ms",
+                "cc_unbounded", "idle_finished", "seed", "engine",
+                "scenario", "trace_sha256")
+
 
 @dataclass(frozen=True)
 class Scale:
@@ -177,11 +194,12 @@ class RunSpec:
         from repro.core.registry import extract_run_params
         payload = {}
         for f in fields(self):
-            # trace_path is where the bytes happen to live, not what
-            # they are; trace_sha256 already commits to the content.
-            # Keying the path would split identical runs across keys
-            # and miss-cache a file that merely moved.
-            if f.name == "trace_path":
+            # LOCATION_ONLY fields (trace_path) are where bytes happen
+            # to live, not what they are; trace_sha256 already commits
+            # to the content.  Keying the path would split identical
+            # runs across keys and miss-cache a file that merely
+            # moved.
+            if f.name in LOCATION_ONLY:
                 continue
             value = getattr(self, f.name)
             if f.name == "scale":
@@ -215,6 +233,40 @@ class RunSpec:
         if self.seed != 1:
             parts.append(f"s{self.seed}")
         return ":".join(parts)
+
+
+def _check_key_classification() -> None:
+    """Refuse to import unless KEY_MATERIAL/LOCATION_ONLY exactly
+    partition RunSpec's fields.
+
+    The spec-keys lint rule enforces the same invariant statically;
+    this guard makes it unskippable at runtime too — a new field that
+    nobody classified breaks every import of this module, so it can
+    never silently not affect cache keys.
+    """
+    declared = {f.name for f in fields(RunSpec)}
+    material = set(KEY_MATERIAL)
+    if len(KEY_MATERIAL) != len(material):
+        raise AssertionError("KEY_MATERIAL contains duplicates")
+    overlap = material & LOCATION_ONLY
+    if overlap:
+        raise AssertionError(
+            f"fields classified both KEY_MATERIAL and LOCATION_ONLY: "
+            f"{sorted(overlap)}")
+    unclassified = declared - material - LOCATION_ONLY
+    if unclassified:
+        raise AssertionError(
+            f"RunSpec fields with no cache-key classification: "
+            f"{sorted(unclassified)}; add each to KEY_MATERIAL or "
+            f"LOCATION_ONLY (with a reason) in harness/spec.py")
+    stale = (material | LOCATION_ONLY) - declared
+    if stale:
+        raise AssertionError(
+            f"classified names that are not RunSpec fields: "
+            f"{sorted(stale)}")
+
+
+_check_key_classification()
 
 
 def spec_from_payload(payload: Dict) -> RunSpec:

@@ -56,7 +56,8 @@ class Job:
     #: Sweep-layer counts (points/memory/disk/computed/batched) once
     #: the job has run, plus submit-time dedupe accounting.
     counts: Dict[str, int] = field(default_factory=dict)
-    submitted_at: float = field(default_factory=time.time)
+    submitted_at: float = field(
+        default_factory=time.time)  # repro: allow(determinism) -- job timestamp, not result data
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     finished: threading.Event = field(default_factory=threading.Event,
@@ -64,6 +65,7 @@ class Job:
 
     def snapshot(self) -> Dict:
         """JSON-safe view of this job (the status API's payload)."""
+        now = time.time()  # repro: allow(determinism) -- live elapsed display only
         return {
             "job": self.id,
             "state": self.state,
@@ -76,7 +78,7 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "elapsed_s": (None if self.started_at is None
-                          else (self.finished_at or time.time())
+                          else (self.finished_at or now)
                           - self.started_at),
         }
 
@@ -178,7 +180,7 @@ class RunService:
                 return
             job = self._jobs[job_id]
             job.state = "running"
-            job.started_at = time.time()
+            job.started_at = time.time()  # repro: allow(determinism) -- job timestamp only
             try:
                 self._execute(job)
                 job.state = "done"
@@ -186,7 +188,7 @@ class RunService:
                 job.state = "failed"
                 job.error = f"{type(exc).__name__}: {exc}"
             finally:
-                job.finished_at = time.time()
+                job.finished_at = time.time()  # repro: allow(determinism) -- job timestamp only
                 with self._lock:
                     for key in job.keys:
                         if self._inflight.get(key) == job.id:

@@ -217,7 +217,7 @@ class ResultsDatabase:
         """
         key = key or run_cache.cache_key(spec)
         cols = self._spec_columns(spec)
-        now = time.time()
+        now = time.time()  # repro: allow(determinism) -- row timestamp, not result data
 
         def txn(conn: sqlite3.Connection) -> bool:
             cur = conn.execute(
@@ -262,7 +262,7 @@ class ResultsDatabase:
         cols = self._spec_columns(spec)
         metrics = _metrics_for(result)
         fingerprint = fingerprint or run_cache.code_fingerprint()
-        now = time.time()
+        now = time.time()  # repro: allow(determinism) -- row timestamp, not result data
 
         def txn(conn: sqlite3.Connection) -> str:
             conn.execute(

@@ -1,0 +1,95 @@
+"""Registry-contract fixture: parsed by the linter, never imported.
+
+The decorator only has to *resolve* to ``register_mechanism`` by
+name; the classes deliberately violate (or honor) the fork/replay and
+params-validate() contracts.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.registry import register_mechanism
+
+
+class LatencyMechanism:
+    supports_decision_replay = True
+
+    def fork_state(self):
+        return type(self)(None)
+
+
+@dataclass
+class GoodParams:
+    entries: int = 128
+
+    def validate(self) -> None:
+        pass
+
+
+@dataclass
+class BadParams:
+    entries: int = 128
+    # no validate()
+
+
+class StatefulMechanism(LatencyMechanism):
+    """Extra __init__ state, no own forks: generic fork drops it."""
+
+    def __init__(self, timing, tracker):
+        self.timing = timing
+        self.tracker = tracker
+
+
+class BareMechanism:
+    """No forks anywhere in its MRO and no opt-out."""
+
+
+class OptedOutMechanism:
+    """Extra state but explicitly opts out of replay."""
+
+    supports_decision_replay = False
+
+    def __init__(self, timing, tracker):
+        self.timing = timing
+        self.tracker = tracker
+
+
+class ForkingMechanism(LatencyMechanism):
+    """Extra state and its own fork_state: fine."""
+
+    def __init__(self, timing, tracker):
+        self.timing = timing
+        self.tracker = tracker
+
+    def fork_state(self):
+        return ForkingMechanism(self.timing, self.tracker)
+
+
+@register_mechanism("stateful", params=GoodParams)
+def _build_stateful(ctx) -> StatefulMechanism:
+    return StatefulMechanism(ctx.timing, object())
+
+
+@register_mechanism("bare")
+def _build_bare(ctx) -> BareMechanism:
+    return BareMechanism()
+
+
+@register_mechanism("optout", params=BadParams)
+def _build_optout(ctx) -> OptedOutMechanism:
+    return OptedOutMechanism(ctx.timing, object())
+
+
+@register_mechanism("forking", params=GoodParams)
+def _build_forking(ctx) -> ForkingMechanism:
+    return ForkingMechanism(ctx.timing, object())
+
+
+@register_mechanism("mystery")
+def _build_mystery(ctx):
+    made = [ForkingMechanism(ctx.timing, object())]
+    return made[0]
+
+
+@register_mechanism("ghost", params=GhostParams)  # noqa: F821
+def _build_ghost(ctx) -> ForkingMechanism:
+    return ForkingMechanism(ctx.timing, object())

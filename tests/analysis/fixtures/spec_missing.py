@@ -1,0 +1,14 @@
+"""Spec-keys fixture: a RunSpec module with no classification at all."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    kind: str
+    name: str
+    seed: int = 1
+
+    def key_payload(self) -> dict:
+        return {"kind": self.kind, "name": self.name,
+                "seed": self.seed}

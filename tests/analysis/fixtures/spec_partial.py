@@ -1,0 +1,33 @@
+"""Spec-keys fixture: classification present but wrong in four ways.
+
+* ``new_knob`` is declared on the dataclass but classified nowhere;
+* ``ghost`` is classified but not a field (stale entry);
+* ``seed`` appears in both sets (double classification);
+* ``key_payload`` skips ``engine`` without declaring it LOCATION_ONLY.
+"""
+
+from dataclasses import dataclass, fields
+
+LOCATION_ONLY = frozenset({"trace_path", "seed"})
+
+KEY_MATERIAL = ("kind", "name", "seed", "engine", "ghost")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    kind: str
+    name: str
+    seed: int = 1
+    engine: str = "event"
+    new_knob: int = 0
+    trace_path: str = ""
+
+    def key_payload(self) -> dict:
+        payload = {}
+        for f in fields(self):
+            if f.name in LOCATION_ONLY:
+                continue
+            if f.name == "engine":
+                continue
+            payload[f.name] = getattr(self, f.name)
+        return payload

@@ -1,0 +1,23 @@
+"""Shared plumbing for the analysis-suite tests."""
+
+import os
+
+from repro.analysis.engine import run_lint
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "fixtures")
+
+
+def fixture(*names: str) -> str:
+    return os.path.join(FIXTURES, *names)
+
+
+def lint_fixture(*names: str):
+    """Findings for one fixture as (line, rule, message) tuples."""
+    report = run_lint([fixture(*names)])
+    return [(f.line, f.rule, f.message) for f in report.findings]
+
+
+def rule_findings(findings, rule: str):
+    return [(line, message) for line, r, message in findings
+            if r == rule]

@@ -1,0 +1,49 @@
+"""Exact-message coverage for the ``registry-contract`` rule."""
+
+from tests.analysis.helpers import lint_fixture, rule_findings
+
+
+class TestRegistryContractFixture:
+    def setup_method(self):
+        self.findings = rule_findings(
+            lint_fixture("registry_bad.py"), "registry-contract")
+
+    def test_stateful_init_with_generic_fork(self):
+        assert (68, "mechanism class 'StatefulMechanism' has an "
+                    "__init__ with extra constructor state but "
+                    "defines neither fork_state nor fork_for_replay; "
+                    "the inherited generic fork_state would drop "
+                    "that state -- implement the fork methods or set "
+                    "supports_decision_replay = False") \
+            in self.findings
+
+    def test_no_forks_anywhere(self):
+        assert (73, "mechanism class 'BareMechanism' defines neither "
+                    "fork_state nor fork_for_replay and no "
+                    "resolvable base provides them; implement them "
+                    "or set supports_decision_replay = False") \
+            in self.findings
+
+    def test_params_without_validate(self):
+        assert (78, "params class 'BadParams' does not define "
+                    "validate(); the registry calls "
+                    "params.validate() on every parse") \
+            in self.findings
+
+    def test_unresolvable_factory(self):
+        assert (88, "cannot resolve the mechanism class built by "
+                    "'_build_mystery'; annotate the factory's return "
+                    "type with the mechanism class so the "
+                    "fork/replay contract is checkable") \
+            in self.findings
+
+    def test_unresolvable_params_class(self):
+        assert (94, "params class 'GhostParams' for '_build_ghost' "
+                    "is not defined in the linted tree, so its "
+                    "validate() contract cannot be checked") \
+            in self.findings
+
+    def test_compliant_registrations_are_clean(self):
+        # opt-out (fork side), own-fork and seeded registrations add
+        # nothing beyond the five intended findings.
+        assert len(self.findings) == 5

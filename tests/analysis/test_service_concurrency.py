@@ -1,0 +1,49 @@
+"""Exact-message coverage for the ``service-concurrency`` rule."""
+
+from tests.analysis.helpers import lint_fixture, rule_findings
+
+SHARED = ("outlives the operation and may cross threads; open a "
+          "fresh connection per operation instead")
+
+
+class TestServiceConcurrencyFixture:
+    def setup_method(self):
+        self.findings = rule_findings(
+            lint_fixture("service", "conc_bad.py"),
+            "service-concurrency")
+
+    def test_connection_stored_on_self(self):
+        assert (17, f"sqlite3 connection stored on 'self.conn' "
+                    f"{SHARED}") in self.findings
+
+    def test_check_same_thread_false(self):
+        assert (20, "sqlite3.connect(check_same_thread=False) "
+                    "invites sharing one connection across threads; "
+                    "open a fresh connection per operation instead") \
+            in self.findings
+
+    def test_write_outside_lock(self):
+        assert (25, "SQLite write outside a FileLock; wrap it in "
+                    "'with self.lock:' or move it into a transaction "
+                    "function passed to _write(...)") in self.findings
+
+    def test_rename_without_fsync(self):
+        assert (59, "os.rename() without a preceding fsync in the "
+                    "same function; an unsynced rename can publish "
+                    "an empty file after a crash") in self.findings
+
+    def test_sanctioned_patterns_are_clean(self):
+        # locked write, _write-txn write, lock-free read and
+        # fsync-then-rename add nothing beyond the four intended.
+        assert len(self.findings) == 4
+
+    def test_rule_is_path_scoped(self, tmp_path):
+        """The same code outside a service/ directory is not checked."""
+        from tests.analysis.helpers import fixture
+        source = open(fixture("service", "conc_bad.py")).read()
+        elsewhere = tmp_path / "conc_bad.py"
+        elsewhere.write_text(source)
+        from repro.analysis.engine import run_lint
+        report = run_lint([str(elsewhere)])
+        assert not [f for f in report.findings
+                    if f.rule == "service-concurrency"]

@@ -1,0 +1,101 @@
+"""Exact-message coverage for the ``spec-keys`` rule."""
+
+import pytest
+
+from repro.harness import spec as spec_module
+from tests.analysis.helpers import lint_fixture, rule_findings
+
+
+class TestMissingClassification:
+    def test_both_sets_required(self):
+        findings = rule_findings(lint_fixture("spec_missing.py"),
+                                 "spec-keys")
+        assert (7, "module defining RunSpec must declare a "
+                   "LOCATION_ONLY set of field-name literals naming "
+                   "the fields excluded from cache-key material") \
+            in findings
+        assert (7, "module defining RunSpec must declare a "
+                   "KEY_MATERIAL tuple of field-name literals "
+                   "naming every cache-key field") in findings
+        assert len(findings) == 2
+
+
+class TestPartialClassification:
+    def setup_method(self):
+        self.findings = rule_findings(
+            lint_fixture("spec_partial.py"), "spec-keys")
+
+    def test_double_classification(self):
+        assert (11, "field 'seed' appears in both LOCATION_ONLY and "
+                    "KEY_MATERIAL; a field has exactly one cache-key "
+                    "role") in self.findings
+
+    def test_stale_entry(self):
+        assert (13, "KEY_MATERIAL names 'ghost', which is not a "
+                    "field of RunSpec; remove the stale entry") \
+            in self.findings
+
+    def test_unclassified_field(self):
+        assert (22, "RunSpec field 'new_knob' is classified neither "
+                    "KEY_MATERIAL nor LOCATION_ONLY; decide whether "
+                    "it affects cache keys and add it to exactly one "
+                    "set") in self.findings
+
+    def test_undeclared_key_payload_skip(self):
+        assert (30, "key_payload() skips field 'engine' which is not "
+                    "declared LOCATION_ONLY; undeclared skips "
+                    "silently drop key material") in self.findings
+
+    def test_exact_finding_count(self):
+        assert len(self.findings) == 4
+
+
+class TestRuntimeGuard:
+    """The import-time twin of the lint rule (harness/spec.py)."""
+
+    def test_current_classification_partitions_exactly(self):
+        declared = {f.name for f in
+                    __import__("dataclasses").fields(
+                        spec_module.RunSpec)}
+        material = set(spec_module.KEY_MATERIAL)
+        location = set(spec_module.LOCATION_ONLY)
+        assert material | location == declared
+        assert not material & location
+
+    def test_key_payload_honors_the_partition(self):
+        run = spec_module.RunSpec(kind="single", name="bzip2")
+        payload = run.key_payload()
+        assert set(payload) == set(spec_module.KEY_MATERIAL)
+        for name in spec_module.LOCATION_ONLY:
+            assert name not in payload
+
+    def test_guard_rejects_unclassified_field(self, monkeypatch):
+        monkeypatch.setattr(
+            spec_module, "KEY_MATERIAL",
+            tuple(n for n in spec_module.KEY_MATERIAL
+                  if n != "seed"))
+        with pytest.raises(AssertionError, match="seed"):
+            spec_module._check_key_classification()
+
+    def test_guard_rejects_overlap(self, monkeypatch):
+        monkeypatch.setattr(
+            spec_module, "LOCATION_ONLY",
+            frozenset(spec_module.LOCATION_ONLY | {"seed"}))
+        with pytest.raises(AssertionError,
+                           match="both KEY_MATERIAL and "
+                                 "LOCATION_ONLY"):
+            spec_module._check_key_classification()
+
+    def test_guard_rejects_stale_name(self, monkeypatch):
+        monkeypatch.setattr(
+            spec_module, "KEY_MATERIAL",
+            spec_module.KEY_MATERIAL + ("no_such_field",))
+        with pytest.raises(AssertionError, match="no_such_field"):
+            spec_module._check_key_classification()
+
+    def test_guard_rejects_duplicates(self, monkeypatch):
+        monkeypatch.setattr(
+            spec_module, "KEY_MATERIAL",
+            spec_module.KEY_MATERIAL + ("seed",))
+        with pytest.raises(AssertionError, match="duplicates"):
+            spec_module._check_key_classification()
