@@ -1,0 +1,97 @@
+"""Store-backend overhead: local, layered, and read-through costs.
+
+Not a paper figure — this benchmark prices the PR-10 storage refactor.
+The numbers that matter operationally:
+
+* ``local_put/get`` — the atomic-envelope write and JSON-decode read
+  that every cached sweep point pays once;
+* ``layered_hit`` — a warm layered read (should cost the same as a
+  plain local read: the remote layer must stay off the hot path);
+* ``layered_write_back`` — a local miss served by the remote layer,
+  including the byte-identical local replication.
+
+Runs entirely on local directories (no daemon): the point is the
+protocol overhead, not loopback HTTP latency.
+"""
+
+import shutil
+import tempfile
+import time
+
+from conftest import record, run_once
+
+from repro.harness.cache import cache_key
+from repro.harness.runner import Scale, workload_spec
+from repro.harness.store import LayeredStore, LocalDirStore
+
+TINY = Scale(single_core_instructions=1500, multi_core_instructions=1000,
+             warmup_cpu_cycles=1000, max_mem_cycles=300_000)
+
+N_ENVELOPES = 64
+
+
+def _timed(fn, n):
+    start = time.perf_counter()
+    fn()
+    return n / (time.perf_counter() - start)
+
+
+def run(scale):
+    from repro.harness import runner
+
+    spec = workload_spec("libquantum", "chargecache", TINY)
+    result = runner.run_spec(spec)
+    key = cache_key(spec)
+    root = tempfile.mkdtemp(prefix="bench-store-")
+    try:
+        local = LocalDirStore(f"{root}/local")
+        remote = LocalDirStore(f"{root}/remote")
+        # Distinct synthetic keys: same payload, N envelope files.
+        keys = [f"{i:016x}{key[16:]}" for i in range(N_ENVELOPES)]
+
+        def put_all():
+            for k in keys:
+                local.put(k, spec, result)
+
+        def get_all():
+            for k in keys:
+                assert local.get(k) is not None
+
+        local_put = _timed(put_all, N_ENVELOPES)
+        local_get = _timed(get_all, N_ENVELOPES)
+
+        for k in keys:
+            remote.put(k, spec, result)
+        layered = LayeredStore(LocalDirStore(f"{root}/cold"), remote)
+
+        def write_back_all():
+            for k in keys:
+                assert layered.get(k) is not None
+
+        write_back = _timed(write_back_all, N_ENVELOPES)
+        # Second pass: every key now hits the warm local layer.
+        layered_hit = _timed(write_back_all, N_ENVELOPES)
+
+        return {
+            "id": "store_backends",
+            "rows": [
+                {"op": "local_put", "ops_per_s": local_put},
+                {"op": "local_get", "ops_per_s": local_get},
+                {"op": "layered_write_back", "ops_per_s": write_back},
+                {"op": "layered_hit", "ops_per_s": layered_hit},
+            ],
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_store_backend_overhead(benchmark, scale):
+    result = run_once(benchmark, run, scale)
+    rates = {row["op"]: row["ops_per_s"] for row in result["rows"]}
+    record(benchmark, result, **rates)
+    # Sanity floors, generous enough for slow CI disks: envelope IO
+    # must stay in "hundreds per second" territory, and a warm
+    # layered hit must not be an order of magnitude off a local get.
+    assert rates["local_put"] > 20
+    assert rates["local_get"] > 50
+    assert rates["layered_hit"] > rates["local_get"] / 10

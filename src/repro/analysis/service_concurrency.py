@@ -20,7 +20,12 @@ one process at a time:
   sanctioned idiom is a fresh connection per operation.
 
 The rule applies to modules under ``service/`` (path-scoped, so test
-fixtures placed under a ``service/`` directory exercise it too).
+fixtures placed under a ``service/`` directory exercise it too), plus
+the harness modules that share the same multi-process publication
+discipline regardless of directory: the pluggable store backends and
+the sweep journal (:data:`SCOPED_BASENAMES`) write files that other
+processes read concurrently, so their renames and writes are held to
+the service rules.
 """
 
 from __future__ import annotations
@@ -41,6 +46,10 @@ from repro.analysis.base import (
 )
 
 EXECUTE_METHODS = ("execute", "executemany", "executescript")
+
+#: Modules outside ``service/`` that still publish files across
+#: process boundaries and therefore carry the same discipline.
+SCOPED_BASENAMES = ("store.py", "journal.py")
 WRITE_VERBS = ("INSERT", "UPDATE", "DELETE", "REPLACE", "CREATE",
                "DROP", "ALTER", "VACUUM")
 
@@ -113,7 +122,9 @@ class ServiceConcurrencyChecker(Checker):
 
     def check(self, project: Project) -> Iterable[Finding]:
         for module in project.modules:
-            if "service" not in module.parts[:-1]:
+            scoped = ("service" in module.parts[:-1]
+                      or module.parts[-1] in SCOPED_BASENAMES)
+            if not scoped:
                 continue
             yield from self._check_module(module)
 

@@ -233,9 +233,14 @@ class ExecutionConfig:
     ``jobs`` is the process-pool width for sweep fan-out: ``None``
     defers to the ``REPRO_JOBS`` environment variable (default serial),
     ``0`` means one worker per CPU, ``1`` forces serial in-process
-    execution.  ``cache_dir=None`` defers to ``REPRO_CACHE_DIR`` or
-    ``~/.cache/chargecache-repro``; ``use_run_cache=False`` bypasses
-    the persistent layer entirely (the in-memory memo still applies).
+    execution.  ``cache_dir`` selects the persistent result store: a
+    plain directory or ``file://DIR`` (the content-addressed envelope
+    directory), ``http(s)://HOST:PORT`` (a serving daemon, see
+    :mod:`repro.harness.store`), or ``layered:LOCAL,REMOTE``
+    (read-through local with remote write-back); ``None`` defers to
+    ``REPRO_CACHE_DIR`` or ``~/.cache/chargecache-repro``.
+    ``use_run_cache=False`` bypasses the persistent layer entirely
+    (the in-memory memo still applies).
     """
 
     jobs: Optional[int] = None

@@ -356,6 +356,25 @@ class RunCache:
         self.hits += 1
         return result
 
+    def get_envelope(self, key: str) -> Optional[Dict]:
+        """The raw envelope dict for ``key``, or None (failure = miss).
+
+        The envelope is the store's wire format: ``schema`` / ``key`` /
+        ``fingerprint`` / ``spec`` (key payload) / ``result``.  Layered
+        stores replicate envelopes verbatim through this pair of
+        methods so a copied entry is byte-identical to the original.
+        """
+        try:
+            with open(self.path_for(key), "r", encoding="ascii") as fh:
+                envelope = json.load(fh)
+            if not isinstance(envelope, dict) \
+                    or envelope.get("schema") != SCHEMA_VERSION:
+                raise ValueError("schema mismatch")
+            envelope["result"]
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return envelope
+
     def put(self, key: str, spec: RunSpec, result: RunResult) -> str:
         """Persist ``result`` under ``key``; returns the file path."""
         envelope = {
@@ -365,6 +384,25 @@ class RunCache:
             "spec": spec.key_payload(),
             "result": result_to_json(result),
         }
+        return self.put_envelope(key, envelope)
+
+    def put_envelope(self, key: str, envelope: Dict) -> str:
+        """Atomically write a ready-made envelope; returns the path.
+
+        ``json.dump`` of a ``json.load``-ed dict reproduces the source
+        bytes (insertion order and float repr round-trip), so
+        replicating an envelope between directories through this
+        method preserves content-hash identity of the files.
+        """
+        if envelope.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"refusing to store envelope with schema "
+                f"{envelope.get('schema')!r} (this store is schema "
+                f"{SCHEMA_VERSION})")
+        if envelope.get("key") != key:
+            raise ValueError(
+                f"envelope key {envelope.get('key')!r} does not match "
+                f"storage key {key!r}")
         os.makedirs(self.root, exist_ok=True)
         path = self.path_for(key)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")

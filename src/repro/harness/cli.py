@@ -30,6 +30,19 @@ Examples::
         --mechanism chargecache --standard DDR3-1600
     chargecache-harness query --db ~/.cache/chargecache-repro/results.sqlite
 
+    # Pluggable store backends: --store / --cache-dir accept a plain
+    # directory, file://DIR, http://HOST:PORT (a serving daemon), or
+    # layered:LOCAL,REMOTE (read-through with write-back).
+    chargecache-harness fig9 --store http://127.0.0.1:8023
+    chargecache-harness fig9 --store layered:/tmp/cc,http://127.0.0.1:8023
+
+    # Distributed, resumable sweeps: N hosts pointing at one shared
+    # store partition the sweep by exactly-one-winner claims; a killed
+    # worker's journal + the store make restarts free.
+    chargecache-harness sweep --kind single --workloads hmmer mcf \\
+        --mechanisms none chargecache --store /shared/cc \\
+        --journal /tmp/worker-a.journal --owner worker-a
+
 The ``all`` command first collects every experiment's declared sweep,
 dedupes it, and executes the union through one shared process pool
 (DESIGN.md section 5), so each distinct run is simulated at most once
@@ -172,10 +185,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "each batch group is one pool work unit; "
                              "--no-batch forces one simulation per "
                              "point)")
-    parser.add_argument("--cache-dir", metavar="DIR", default=None,
-                        help="persistent run-cache directory (default: "
-                             "$REPRO_CACHE_DIR or "
-                             "~/.cache/chargecache-repro)")
+    parser.add_argument("--cache-dir", "--store", dest="cache_dir",
+                        metavar="DIR_OR_URL", default=None,
+                        help="persistent run store: a directory "
+                             "(default: $REPRO_CACHE_DIR or "
+                             "~/.cache/chargecache-repro), file://DIR, "
+                             "http(s)://HOST:PORT for a serving "
+                             "daemon, or layered:LOCAL,REMOTE for "
+                             "read-through local with remote "
+                             "write-back")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the persistent run cache (recompute "
                              "every sweep point; nothing is read or "
@@ -210,35 +228,67 @@ def build_cache_parser() -> argparse.ArgumentParser:
              "embeds the fingerprint); staleness is judged against "
              "THIS checkout — with a cache dir shared across branches "
              "or worktrees, other checkouts' entries look stale from "
-             "here, so --dry-run first")
-    gc.add_argument("--cache-dir", metavar="DIR", default=None,
-                    help="cache directory (default: $REPRO_CACHE_DIR "
-                         "or ~/.cache/chargecache-repro)")
+             "here, so --dry-run first.  The sweep is store-WIDE: "
+             "database rows in the sidecar results.sqlite (or --db) "
+             "are pruned in the same pass, so gc never strands "
+             "orphaned rows behind deleted envelopes")
+    gc.add_argument("--cache-dir", "--store", dest="cache_dir",
+                    metavar="DIR_OR_URL", default=None,
+                    help="store to sweep: a cache directory (default: "
+                         "$REPRO_CACHE_DIR or "
+                         "~/.cache/chargecache-repro), file://DIR, or "
+                         "http(s)://HOST:PORT (the daemon sweeps its "
+                         "own envelopes and rows)")
+    gc.add_argument("--db", metavar="PATH", default=None,
+                    help="also sweep this results database (default: "
+                         "results.sqlite inside the cache directory, "
+                         "when present)")
     gc.add_argument("--dry-run", action="store_true",
                     help="list stale entries without deleting anything")
     return parser
 
 
 def _cache_main(argv: List[str]) -> int:
+    import os
+
     args = build_cache_parser().parse_args(argv)
     if args.action != "gc":
         build_cache_parser().print_help()
         return 2
-    from repro.harness.cache import RunCache
-    cache = RunCache(args.cache_dir)
-    report = cache.gc(dry_run=args.dry_run)
+    from repro.harness import store as run_store
+    store = run_store.open_store(args.cache_dir)
+    report = store.gc(dry_run=args.dry_run)
     for key, reason in report.stale:
         print(f"stale {key}  ({reason})")
+    # Remote stores gc their rows daemon-side (the report above is
+    # already merged); local stores sweep the sidecar database here so
+    # envelope pruning never strands orphaned rows.
+    rows = None
+    root = getattr(store, "root", None)
+    db_path = args.db or (os.path.join(root, "results.sqlite")
+                          if root else None)
+    if db_path and os.path.exists(db_path):
+        from repro.service.database import ResultsDatabase
+        rows = ResultsDatabase(db_path).gc(dry_run=args.dry_run)
+        for key, reason in rows.stale:
+            print(f"stale row {key}  ({reason})")
+    where = run_store.store_url(store) or getattr(store, "root", "?")
     if args.dry_run:
         print(f"cache gc: would remove {len(report.stale)} stale, "
               f"kept {report.kept} current "
-              f"(dir {cache.root})")
+              f"(dir {where})")
+        if rows is not None:
+            print(f"cache gc: would remove {len(rows.stale)} stale "
+                  f"row(s), kept {rows.kept} (db {db_path})")
     else:
         failed = len(report.stale) - report.removed
         note = f" ({failed} could not be deleted)" if failed else ""
         print(f"cache gc: removed {report.removed} stale{note}, "
               f"kept {report.kept} current "
-              f"(dir {cache.root})")
+              f"(dir {where})")
+        if rows is not None:
+            print(f"cache gc: removed {rows.removed} stale row(s), "
+                  f"kept {rows.kept} (db {db_path})")
     return 0
 
 
@@ -378,6 +428,132 @@ def _submit_main(argv: List[str]) -> int:
     return 0 if snapshot.get("state") != "failed" else 1
 
 
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chargecache-harness sweep",
+        description="Execute one sweep as a resumable, distributable "
+                    "worker: specs are claimed in chunks against a "
+                    "shared store (exactly one worker simulates each "
+                    "key), completions are checkpointed to a journal, "
+                    "and peers' keys are served from the store — N "
+                    "processes pointing at one store partition the "
+                    "sweep with no other coordination.")
+    parser.add_argument("--kind", choices=("single", "eight", "alone",
+                                           "scenario"),
+                        default="single")
+    parser.add_argument("--scenario", default=None,
+                        help="scenario name (kind=scenario only)")
+    parser.add_argument("--workloads", nargs="+", required=True,
+                        metavar="NAME",
+                        help="workload/mix names; crossed with "
+                             "--mechanisms into one sweep")
+    parser.add_argument("--mechanisms", nargs="+", default=["none"],
+                        metavar="SPEC",
+                        help="mechanism specs (registry grammar)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--scale", type=float, default=None,
+                        help="instruction-budget multiplier")
+    parser.add_argument("--engine", choices=list(ENGINES), default=None)
+    parser.add_argument("--store", "--cache-dir", dest="store",
+                        metavar="DIR_OR_URL", default=None,
+                        help="shared result store every worker points "
+                             "at: a directory, file://DIR, "
+                             "http(s)://HOST:PORT, or "
+                             "layered:LOCAL,REMOTE")
+    parser.add_argument("--db", metavar="PATH", default=None,
+                        help="claim-coordination SQLite database "
+                             "(default: results.sqlite inside the "
+                             "store directory; ignored for http "
+                             "stores, which claim via the daemon)")
+    parser.add_argument("--journal", metavar="PATH", default=None,
+                        help="append-only completion journal; rerun "
+                             "with the same journal and store to "
+                             "resume a killed sweep without "
+                             "re-simulating checkpointed specs")
+    parser.add_argument("--owner", default=None,
+                        help="claim-owner name recorded in the "
+                             "database (default: host:pid)")
+    parser.add_argument("--jobs", "-j", type=_jobs_arg, default=None,
+                        metavar="N", help="local pool width")
+    parser.add_argument("--chunk", type=int,
+                        default=pool.DEFAULT_CHUNK_SPECS, metavar="N",
+                        help="claim granularity in specs (whole batch "
+                             "groups, default %(default)s)")
+    parser.add_argument("--steal-stale", type=float, default=None,
+                        metavar="S",
+                        help="steal a peer's pending claim after S "
+                             "seconds without progress (default: "
+                             "never steal)")
+    parser.add_argument("--wait", type=float, default=600.0,
+                        metavar="S",
+                        help="budget for peers' claimed keys to land "
+                             "in the store (default %(default)s)")
+    parser.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="collapse same-trace variants into one "
+                             "replay (claim chunks keep batch groups "
+                             "whole either way)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print one line per completed point")
+    parser.add_argument("--json", action="store_true",
+                        help="print the sweep summary as JSON")
+    return parser
+
+
+def _sweep_main(argv: List[str]) -> int:
+    import os
+    import socket
+
+    parser = build_sweep_parser()
+    args = parser.parse_args(argv)
+    try:
+        specs = _submit_specs(args)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    from repro.harness import runner
+    from repro.harness import store as run_store
+    runner.configure_disk_cache(args.store)
+    store = runner.active_disk_cache()
+    owner = args.owner or f"{socket.gethostname()}:{os.getpid()}"
+    if getattr(store, "client", None) is not None \
+            or getattr(getattr(store, "remote", None),
+                       "client", None) is not None:
+        claimer = run_store.ServiceClaimer(
+            store, owner=owner, steal_stale_s=args.steal_stale)
+    else:
+        root = getattr(store, "root", None)
+        if root is None:
+            parser.error(f"--store {args.store!r} supports neither "
+                         "HTTP claims nor a sidecar database")
+        db_path = args.db or os.path.join(root, "results.sqlite")
+        claimer = run_store.DatabaseClaimer(
+            db_path, owner=owner, steal_stale_s=args.steal_stale)
+
+    try:
+        sweep = pool.execute_sweep(
+            specs, jobs=args.jobs,
+            progress=pool.stderr_progress if args.progress else None,
+            batch=args.batch, journal=args.journal, claimer=claimer,
+            chunk_specs=args.chunk, remote_wait_s=args.wait)
+    except pool.SweepError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
+    summary = {"owner": owner,
+               "store": run_store.store_url(store),
+               "journal": args.journal,
+               "counts": sweep.counts()}
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    counts = summary["counts"]
+    print(f"sweep: {counts.get('points', len(specs))} point(s) — "
+          f"{counts.get('computed', 0)} computed here, "
+          f"{counts.get('remote', 0)} from peers, "
+          f"{counts.get('memory', 0) + counts.get('disk', 0)} already "
+          f"stored", file=sys.stderr)
+    return 0
+
+
 def build_query_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="chargecache-harness query",
@@ -401,6 +577,9 @@ def build_query_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", action="store_true",
                         help="emit the raw table as JSON instead of "
                              "rendering it")
+    parser.add_argument("--csv", action="store_true",
+                        help="emit the table as CSV instead of "
+                             "rendering it")
     return parser
 
 
@@ -409,6 +588,8 @@ def _query_main(argv: List[str]) -> int:
     args = parser.parse_args(argv)
     if args.url and args.db:
         parser.error("--url and --db are mutually exclusive")
+    if args.json and args.csv:
+        parser.error("--json and --csv are mutually exclusive")
     filters = {axis: getattr(args, axis)
                for axis in ("scenario", "mechanism", "standard", "kind",
                             "name", "engine")}
@@ -435,6 +616,11 @@ def _query_main(argv: List[str]) -> int:
     if args.json:
         print(json.dumps(table, indent=2))
         return 0
+    if args.csv:
+        from repro.harness.export import rows_to_csv
+        headers = [c["id"] for c in table["columns"]]
+        print(rows_to_csv(table["rows"], columns=headers), end="")
+        return 0
     from repro.harness.report import format_table
     headers = [c["id"] for c in table["columns"]]
     body = [["" if row.get(h) is None
@@ -457,6 +643,7 @@ _SUBCOMMANDS = {
     "cache": _cache_main,
     "serve": _serve_main,
     "submit": _submit_main,
+    "sweep": _sweep_main,
     "query": _query_main,
     "lint": _lint_main,
 }

@@ -43,7 +43,7 @@ from repro.dram.timing import DDR3_1600
 from repro.energy.drampower import access_rate_for_run, energy_for_run
 from repro.energy.mcpat import hcrac_overhead, overhead_for_config
 from repro.dram.standards import preset, profile, reduction_cycles_for
-from repro.harness import pool, scenarios
+from repro.harness import aggregate, pool, scenarios
 from repro.harness.runner import (
     Scale,
     alone_ipcs_for_mix,
@@ -130,6 +130,24 @@ def _cc(entries: Optional[int] = None,
     if unbounded:
         params.append("unbounded=true")
     return f"chargecache({','.join(params)})" if params else "chargecache"
+
+
+def _cc_axes(entries: Optional[int] = None,
+             duration_ms: Optional[float] = None,
+             unbounded: bool = False) -> Dict:
+    """Canonical frame-filter axes for a parameterized ChargeCache run.
+
+    Registry normalization folds default-valued parameters away
+    (``entries=128`` hashes like plain ``chargecache``), so frame
+    filters must match the *canonical* axis values, not the sweep's
+    literal parameters.
+    """
+    from repro.core.registry import extract_run_params
+    mechanism, entries, duration_ms, unbounded = extract_run_params(
+        _cc(entries=entries, duration_ms=duration_ms,
+            unbounded=unbounded))
+    return {"mechanism": mechanism, "cc_entries": entries,
+            "cc_duration_ms": duration_ms, "cc_unbounded": unbounded}
 
 
 # ----------------------------------------------------------------------
@@ -430,20 +448,18 @@ def run_fig9(modes: Sequence[str] = ("single", "eight"),
     """HCRAC hit rate vs capacity, plus the unlimited-size bound."""
     scale = scale or current_scale()
     sweep = _prefetch(_fig9_specs(modes, workloads, scale, capacities))
+    frame = aggregate.sweep_frame(sweep)
     rows = []
     for mode in modes:
-        names = _names_for(mode, workloads)
         for cap in capacities:
-            hits = [_run_for(mode, n, _cc(entries=cap),
-                             scale).mechanism_hit_rate
-                    for n in names]
             rows.append({"mode": mode, "entries": cap,
-                         "hit_rate": _mean(hits)})
-        unlimited = [_run_for(mode, n, _cc(unbounded=True),
-                              scale).mechanism_hit_rate
-                     for n in names]
+                         "hit_rate": frame.where(
+                             kind=mode, **_cc_axes(entries=cap))
+                         .mean("mechanism_hit_rate")})
         rows.append({"mode": mode, "entries": "unlimited",
-                     "hit_rate": _mean(unlimited)})
+                     "hit_rate": frame.where(
+                         kind=mode, **_cc_axes(unbounded=True))
+                     .mean("mechanism_hit_rate")})
     return {"id": "fig9", "capacities": list(capacities), "rows": rows,
             "cache": sweep.annotation()}
 
@@ -470,16 +486,15 @@ def run_fig10(modes: Sequence[str] = ("single", "eight"),
     """Speedup vs HCRAC capacity."""
     scale = scale or current_scale()
     sweep = _prefetch(_fig10_specs(modes, workloads, scale, capacities))
+    frame = aggregate.sweep_frame(sweep, performance=True)
     rows = []
     for mode in modes:
-        names = _names_for(mode, workloads)
+        base = frame.where(kind=mode, mechanism="none") \
+            .pivot("name", "performance")
         for cap in capacities:
-            speedups = []
-            for name in names:
-                base = _performance(mode, name, "none", scale)
-                perf = _performance(mode, name, _cc(entries=cap), scale)
-                if base:
-                    speedups.append(perf / base - 1.0)
+            variant = frame.where(kind=mode, **_cc_axes(entries=cap))
+            speedups = [row["performance"] / base[row["name"]] - 1.0
+                        for row in variant if base.get(row["name"])]
             rows.append({"mode": mode, "entries": cap,
                          "speedup": _mean(speedups)})
     return {"id": "fig10", "capacities": list(capacities), "rows": rows,
@@ -517,24 +532,21 @@ def run_fig11(modes: Sequence[str] = ("single", "eight"),
     """
     scale = scale or current_scale()
     sweep = _prefetch(_fig11_specs(modes, workloads, scale, durations_ms))
+    frame = aggregate.sweep_frame(sweep, performance=True)
     rows = []
     for mode in modes:
-        names = _names_for(mode, workloads)
+        base = frame.where(kind=mode, mechanism="none") \
+            .pivot("name", "performance")
         for duration in durations_ms:
-            speedups, hits = [], []
-            for name in names:
-                base = _performance(mode, name, "none", scale)
-                mech = _cc(duration_ms=duration)
-                perf = _performance(mode, name, mech, scale)
-                result = _run_for(mode, name, mech, scale)
-                if base:
-                    speedups.append(perf / base - 1.0)
-                hits.append(result.mechanism_hit_rate)
+            variant = frame.where(kind=mode,
+                                  **_cc_axes(duration_ms=duration))
+            speedups = [row["performance"] / base[row["name"]] - 1.0
+                        for row in variant if base.get(row["name"])]
             rows.append({
                 "mode": mode,
                 "duration_ms": duration,
                 "speedup": _mean(speedups),
-                "hit_rate": _mean(hits),
+                "hit_rate": variant.mean("mechanism_hit_rate"),
                 "reductions": reductions_for_duration_ms(duration),
             })
     return {"id": "fig11", "durations_ms": list(durations_ms), "rows": rows,

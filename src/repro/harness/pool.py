@@ -37,10 +37,17 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.cpu.system import RunResult
 from repro.harness import cache as run_cache
 from repro.harness import runner
+from repro.harness import store as run_store
 from repro.harness.spec import RunSpec, batch_signature, dedupe_specs
 
 #: Environment variable supplying the default pool width.
 JOBS_ENV = "REPRO_JOBS"
+
+#: Claim-chunk size for distributed sweeps: how many specs one
+#: ``claim_many`` grabs at a time.  Small enough that racing hosts
+#: interleave chunks (work stealing), large enough to amortize the
+#: lock/HTTP round-trip and keep batch groups intact.
+DEFAULT_CHUNK_SPECS = 16
 
 #: Process-wide default for batched sweep execution; the CLI's
 #: ``--no-batch`` flips it via :func:`set_batching`.
@@ -59,7 +66,9 @@ class SweepPoint:
 
     spec: RunSpec
     result: RunResult
-    #: "memory" | "disk" | "computed" — which layer served the run.
+    #: "memory" | "disk" | "computed" | "remote" — which layer served
+    #: the run ("remote" = a peer host computed it into the shared
+    #: store while we waited on its claim).
     source: str
     seconds: float = 0.0
     #: Short id of the batch group this point was computed in, or None
@@ -104,7 +113,7 @@ class Sweep:
     def counts(self) -> Dict[str, int]:
         unique = self._unique_points()
         counts = {"points": len(unique), "memory": 0, "disk": 0,
-                  "computed": 0, "batched": 0}
+                  "computed": 0, "remote": 0, "batched": 0}
         for point in unique:
             counts[point.source] += 1
             if point.batch_group is not None:
@@ -232,7 +241,12 @@ ProgressFn = Callable[[int, int, SweepPoint], None]
 def execute_sweep(specs: Sequence[RunSpec],
                   jobs: Optional[int] = None,
                   progress: Optional[ProgressFn] = None,
-                  batch: Optional[bool] = None) -> Sweep:
+                  batch: Optional[bool] = None,
+                  journal=None,
+                  claimer=None,
+                  chunk_specs: int = DEFAULT_CHUNK_SPECS,
+                  remote_wait_s: float = 600.0,
+                  remote_poll_s: float = 0.1) -> Sweep:
     """Execute every spec, fanning out over processes when jobs > 1.
 
     Duplicate specs are computed once; the returned sweep always has
@@ -247,11 +261,29 @@ def execute_sweep(specs: Sequence[RunSpec],
     the collapse (groups overlap across workers; the variants inside a
     group still share one replay).  ``batch`` overrides the
     process-wide default (:func:`set_batching`).
+
+    **Resumable**: ``journal`` (a
+    :class:`~repro.harness.journal.SweepJournal` or a path) checkpoints
+    every completed key as it lands; a killed sweep restarted with the
+    same journal and store serves checkpointed specs from the store and
+    re-simulates none of them.
+
+    **Distributable**: ``claimer`` (a
+    :class:`~repro.harness.store.WorkClaimer`) turns the sweep into a
+    work-stealing participant: pending specs are claimed in chunks of
+    ``chunk_specs``, each key is computed by exactly the host that won
+    its claim, and keys claimed by peers are polled from the shared
+    store (source ``"remote"``) for up to ``remote_wait_s`` seconds —
+    after which stale claims are stolen via the claimer's staleness
+    policy, and anything still missing fails the sweep.
     """
     specs = list(specs)
     jobs = resolve_jobs(jobs)
     if batch is None:
         batch = default_batching
+    if isinstance(journal, str):
+        from repro.harness.journal import SweepJournal
+        journal = SweepJournal(journal)
     unique = dedupe_specs(specs)
     by_spec: Dict[RunSpec, SweepPoint] = {}
     total = len(unique)
@@ -260,6 +292,10 @@ def execute_sweep(specs: Sequence[RunSpec],
     def record(point: SweepPoint) -> None:
         nonlocal done
         by_spec[point.spec] = point
+        if journal is not None:
+            journal.record(run_cache.cache_key(point.spec),
+                           label=point.spec.label(),
+                           source=point.source)
         done += 1
         if progress is not None:
             progress(done, total, point)
@@ -283,7 +319,10 @@ def execute_sweep(specs: Sequence[RunSpec],
         pending.append(spec)
 
     if pending:
-        if jobs > 1 and len(pending) > 1:
+        if claimer is not None:
+            _run_distributed(pending, jobs, record, batch, claimer,
+                             chunk_specs, remote_wait_s, remote_poll_s)
+        elif jobs > 1 and len(pending) > 1:
             _run_parallel(pending, jobs, record, batch)
         elif batch:
             _run_grouped(pending, record)
@@ -363,7 +402,9 @@ def _run_parallel(pending: Sequence[RunSpec], jobs: int,
         return
 
     disk = runner.active_disk_cache()
-    cache_dir = disk.root if disk is not None else None
+    # Workers re-bind the persistent store by address, so URL-backed
+    # stores (http://, layered:) distribute exactly like directories.
+    cache_dir = run_store.store_url(disk)
     with executor:
         futures = {
             executor.submit(_pool_worker,
@@ -394,6 +435,158 @@ def _run_parallel(pending: Sequence[RunSpec], jobs: int,
             # at most the in-flight runs, not the whole remaining sweep.
             executor.shutdown(wait=False, cancel_futures=True)
             raise
+
+
+def _chunk_units(units: Sequence[List[RunSpec]],
+                 chunk_specs: int) -> List[List[List[RunSpec]]]:
+    """Pack whole work units into claim chunks of ~``chunk_specs``.
+
+    Units (batch groups) are never split across chunks, so a chunk's
+    winner keeps the PR 6 one-replay-per-group collapse intact.
+    """
+    chunks: List[List[List[RunSpec]]] = []
+    current: List[List[RunSpec]] = []
+    size = 0
+    for unit in units:
+        current.append(list(unit))
+        size += len(unit)
+        if size >= chunk_specs:
+            chunks.append(current)
+            current, size = [], 0
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def _run_distributed(pending: Sequence[RunSpec], jobs: int,
+                     record: Callable[[SweepPoint], None], batch: bool,
+                     claimer, chunk_specs: int,
+                     remote_wait_s: float, remote_poll_s: float) -> None:
+    """Work-stealing partition of ``pending`` across claimer peers.
+
+    The sweep walks its chunks in spec order, claiming each atomically
+    (:meth:`~repro.harness.store.WorkClaimer.claim_many`); racing
+    hosts walking the same order therefore interleave — whoever
+    reaches a chunk first wins it, everyone else skips ahead.  Won
+    specs run locally (batched, and through the process pool when
+    ``jobs > 1``); lost specs are drained from the shared store once
+    their winner publishes them.
+    """
+    disk = runner.active_disk_cache()
+    if disk is None:
+        raise SweepError(pending[0], RuntimeError(
+            "distributed sweeps need a shared persistent store; "
+            "run without --no-cache / REPRO_NO_CACHE"))
+    units = _batch_groups(pending) if batch \
+        else [[spec] for spec in pending]
+    theirs: List[Tuple[RunSpec, str]] = []
+    for chunk in _chunk_units(units, chunk_specs):
+        flat = [spec for unit in chunk for spec in unit]
+        keys = [run_cache.cache_key(spec) for spec in flat]
+        wins = claimer.claim_many(flat, keys)
+        won = {spec for spec, win in zip(flat, wins) if win}
+        theirs += [(spec, key) for spec, win, key
+                   in zip(flat, wins, keys) if not win]
+        mine = [[spec for spec in unit if spec in won]
+                for unit in chunk]
+        mine = [unit for unit in mine if unit]
+        if mine:
+            _run_claimed(mine, jobs, record, batch, claimer)
+    if theirs:
+        _drain_remote(theirs, jobs, record, batch, claimer,
+                      remote_wait_s, remote_poll_s)
+
+
+def _run_claimed(units: Sequence[List[RunSpec]], jobs: int,
+                 record: Callable[[SweepPoint], None], batch: bool,
+                 claimer) -> None:
+    """Run units this host won; mark each key done (or release it).
+
+    ``done`` fires only after the point is recorded — by then the
+    runner has persisted the envelope, preserving the envelope-
+    before-row lock ordering of DESIGN.md §9.  On failure every
+    not-yet-finished claim is released so peers (or a retry) can
+    claim it instead of deadlocking on a dead owner.
+    """
+    flat = [spec for unit in units for spec in unit]
+    disk = runner.active_disk_cache()
+    finished = set()
+
+    def capture(point: SweepPoint) -> None:
+        key = run_cache.cache_key(point.spec)
+        record(point)
+        finished.add(point.spec)
+        path_for = getattr(disk, "path_for", None)
+        envelope = path_for(key) if callable(path_for) else None
+        claimer.done(point.spec, point.result, key,
+                     envelope_path=envelope)
+
+    try:
+        if jobs > 1 and len(flat) > 1:
+            _run_parallel(flat, jobs, capture, batch)
+        elif batch:
+            _run_grouped(flat, capture)
+        else:
+            _run_serial(flat, capture)
+    except BaseException:
+        for spec in flat:
+            if spec in finished:
+                continue
+            try:
+                claimer.release(run_cache.cache_key(spec))
+            except Exception:
+                pass  # releasing is best-effort; staleness recovers it
+        raise
+
+
+def _drain_remote(theirs: Sequence[Tuple[RunSpec, str]], jobs: int,
+                  record: Callable[[SweepPoint], None], batch: bool,
+                  claimer, wait_s: float, poll_s: float) -> None:
+    """Wait for peer-claimed keys to appear in the shared store.
+
+    Peers publish envelope-then-row, so a store hit is always a
+    complete result.  If the deadline passes, one reclaim attempt is
+    made — a claimer configured with ``steal_stale_s`` takes over
+    work whose owner died — and only then does the sweep fail.
+    """
+    disk = runner.active_disk_cache()
+    waiting = list(theirs)
+    deadline = time.monotonic() + wait_s
+    while waiting:
+        still: List[Tuple[RunSpec, str]] = []
+        for spec, key in waiting:
+            hit = disk.get(key)
+            if hit is not None:
+                runner._install(spec, hit)
+                record(SweepPoint(spec, hit, "remote"))
+            else:
+                still.append((spec, key))
+        waiting = still
+        if not waiting:
+            return
+        if time.monotonic() >= deadline:
+            specs = [spec for spec, _ in waiting]
+            keys = [key for _, key in waiting]
+            wins = claimer.claim_many(specs, keys)
+            stolen = [spec for spec, win in zip(specs, wins) if win]
+            if stolen:
+                _run_claimed(_batch_groups(stolen) if batch
+                             else [[spec] for spec in stolen],
+                             jobs, record, batch, claimer)
+            waiting = [(spec, key) for (spec, key), win
+                       in zip(waiting, wins) if not win]
+            if not waiting:
+                return
+            # Give the live-but-slow owners one more full window
+            # after a steal round before declaring them lost.
+            if stolen:
+                deadline = time.monotonic() + wait_s
+                continue
+            raise SweepError(waiting[0][0], TimeoutError(
+                f"{len(waiting)} peer-claimed key(s) never appeared "
+                f"in the shared store within {wait_s:.0f}s and could "
+                f"not be stolen"))
+        time.sleep(poll_s)
 
 
 def stderr_progress(done: int, total: int, point: SweepPoint) -> None:

@@ -212,6 +212,20 @@ class RunSpec:
                                self.cc_duration_ms, self.cc_unbounded)
         return payload
 
+    def axes(self) -> Dict:
+        """Flat, queryable axis columns for aggregation frames.
+
+        The canonical :meth:`key_payload` minus the nested ``scale``
+        budget object (a frame wants scalar columns, and scale is
+        constant within a sweep); location-only fields are already
+        excluded by the payload.  Mechanism spelling is canonical, so
+        grouping by the ``mechanism`` column groups identical runs.
+        """
+        payload = self.key_payload()
+        del payload["scale"]
+        payload["label"] = self.label()
+        return payload
+
     def label(self) -> str:
         """Short human-readable tag for progress and annotations."""
         parts = [self.kind, self.name, self.mechanism]

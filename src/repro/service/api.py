@@ -26,6 +26,35 @@ fronts the daemon with a small JSON protocol (versioned under
 ``GET /api/v1/health``
     Liveness plus store counts.
 
+Store backend routes (the HTTP face of the ``ResultStore`` protocol —
+:mod:`repro.harness.store`'s ``ServiceStore`` is the client side):
+
+``GET /api/v1/store/keys``
+    Every stored envelope key, sorted.
+
+``GET /api/v1/store/envelope/<key>``
+    The raw envelope (404 when absent — a cache miss, not an error).
+
+``GET /api/v1/store/stat/<key>``
+    ``{"exists": bool, "status": "pending"|"done"|null}``.
+
+``POST /api/v1/store/envelope/<key>``
+    Body ``{"spec": <key_payload>, "result": <result json>}``.  The
+    daemon recomputes the key from its own sources and rejects a
+    mismatch with 409; on success both the envelope and the database
+    row are recorded (envelope first).
+
+``POST /api/v1/store/claim``
+    Body ``{"specs": [<key_payload>, ...], "owner": str|null,
+    "steal_stale_s": float|null}`` — exactly-one-winner chunk claim
+    for distributed sweeps; returns ``{"keys", "claimed"}``.
+
+``POST /api/v1/store/release``
+    Body ``{"key": ...}`` — undo a claim after a failed run.
+
+``POST /api/v1/store/gc``
+    Body ``{"dry_run": bool}`` — store-wide gc (envelopes and rows).
+
 Handlers run on one thread per connection; every mutating route
 delegates to the daemon, whose queue and locked database keep
 concurrent clients safe.
@@ -39,7 +68,7 @@ from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.harness.spec import spec_from_payload
-from repro.service.daemon import RunService
+from repro.service.daemon import KeyMismatch, RunService
 from repro.service.database import ResultsDatabase, build_run_table
 
 API_PREFIX = "/api/v1"
@@ -108,6 +137,19 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, self._query(query))
             elif path == f"{API_PREFIX}/jobs":
                 self._send_json(200, {"jobs": self.service.jobs()})
+            elif path == f"{API_PREFIX}/store/keys":
+                self._send_json(200,
+                                {"keys": self.service.store_keys()})
+            elif path.startswith(f"{API_PREFIX}/store/envelope/"):
+                key = path[len(f"{API_PREFIX}/store/envelope/"):]
+                envelope = self.service.store_envelope(key)
+                if envelope is None:
+                    self._error(404, f"no envelope for key {key!r}")
+                else:
+                    self._send_json(200, envelope)
+            elif path.startswith(f"{API_PREFIX}/store/stat/"):
+                key = path[len(f"{API_PREFIX}/store/stat/"):]
+                self._send_json(200, self.service.store_stat(key))
             else:
                 self._error(404, f"no such endpoint {path!r}")
         except ValueError as exc:
@@ -139,32 +181,75 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 (http.server contract)
         try:
             path, _ = self._route()
-            if path != f"{API_PREFIX}/submit":
+            if path == f"{API_PREFIX}/submit":
+                self._submit()
+            elif path.startswith(f"{API_PREFIX}/store/envelope/"):
+                key = path[len(f"{API_PREFIX}/store/envelope/"):]
+                self._store_put(key)
+            elif path == f"{API_PREFIX}/store/claim":
+                self._store_claim()
+            elif path == f"{API_PREFIX}/store/release":
+                body = self._read_body()
+                key = body.get("key")
+                if not isinstance(key, str) or not key:
+                    raise ValueError("body must carry a 'key' string")
+                self._send_json(200, self.service.store_release(key))
+            elif path == f"{API_PREFIX}/store/gc":
+                body = self._read_body()
+                self._send_json(200, self.service.store_gc(
+                    dry_run=bool(body.get("dry_run"))))
+            else:
                 self._error(404, f"no such endpoint {path!r}")
-                return
-            body = self._read_body()
-            payloads = body.get("specs")
-            if not isinstance(payloads, list) or not payloads:
-                raise ValueError(
-                    "body must carry a non-empty 'specs' list")
-            specs = [spec_from_payload(p) for p in payloads]
-            jobs = body.get("jobs")
-            if jobs is not None and (not isinstance(jobs, int)
-                                     or jobs < 0):
-                raise ValueError("'jobs' must be a non-negative int")
-            snapshot = self.service.submit(specs, jobs=jobs)
-            if body.get("wait"):
-                timeout = body.get("timeout_s")
-                snapshot = self.service.wait(
-                    snapshot["job"],
-                    timeout_s=float(timeout) if timeout else None)
-            self._send_json(200, snapshot)
+        except KeyMismatch as exc:
+            self._error(409, str(exc))
         except (ValueError, TypeError, KeyError) as exc:
             self._error(400, str(exc))
         except TimeoutError as exc:
             self._error(504, str(exc))
         except Exception as exc:  # pragma: no cover - defensive
             self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def _submit(self) -> None:
+        body = self._read_body()
+        payloads = body.get("specs")
+        if not isinstance(payloads, list) or not payloads:
+            raise ValueError(
+                "body must carry a non-empty 'specs' list")
+        specs = [spec_from_payload(p) for p in payloads]
+        jobs = body.get("jobs")
+        if jobs is not None and (not isinstance(jobs, int)
+                                 or jobs < 0):
+            raise ValueError("'jobs' must be a non-negative int")
+        snapshot = self.service.submit(specs, jobs=jobs)
+        if body.get("wait"):
+            timeout = body.get("timeout_s")
+            snapshot = self.service.wait(
+                snapshot["job"],
+                timeout_s=float(timeout) if timeout else None)
+        self._send_json(200, snapshot)
+
+    def _store_put(self, key: str) -> None:
+        body = self._read_body()
+        spec_payload = body.get("spec")
+        result_json = body.get("result")
+        if not isinstance(spec_payload, dict) \
+                or not isinstance(result_json, dict):
+            raise ValueError(
+                "body must carry 'spec' and 'result' objects")
+        self._send_json(200, self.service.store_put(
+            key, spec_payload, result_json))
+
+    def _store_claim(self) -> None:
+        body = self._read_body()
+        payloads = body.get("specs")
+        if not isinstance(payloads, list) or not payloads:
+            raise ValueError(
+                "body must carry a non-empty 'specs' list")
+        owner = body.get("owner")
+        steal = body.get("steal_stale_s")
+        self._send_json(200, self.service.store_claim(
+            payloads, owner=owner,
+            steal_stale_s=float(steal) if steal is not None else None))
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -203,7 +288,9 @@ def serve(database: str, cache_dir: Optional[str] = None,
     db = ResultsDatabase(database)
     if import_cache:
         disk = runner.active_disk_cache()
-        if disk is not None:
+        # Backfill needs a local envelope directory; URL-backed
+        # bindings (a daemon fronting another daemon) have none.
+        if disk is not None and hasattr(disk, "root"):
             imported, skipped = db.import_run_cache(disk)
             print(f"backfilled {imported} envelope(s) from "
                   f"{disk.root} ({skipped} skipped)", file=sys.stderr)

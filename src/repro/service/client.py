@@ -12,6 +12,13 @@ daemon::
     job = client.submit([workload_spec("libquantum", "chargecache")],
                         wait=True)
     table = client.query(mechanism="chargecache")
+
+Transport robustness: every request retries a bounded number of times
+with exponential backoff on connection errors and retryable 5xx
+statuses (500/502/503 — transient server trouble), then surfaces the
+*last* error.  Semantic statuses (4xx, and 504, which the service
+uses for "your job is still running past your wait budget") are never
+retried.
 """
 
 from __future__ import annotations
@@ -27,6 +34,12 @@ from repro.harness.spec import RunSpec
 
 from repro.service.api import API_PREFIX
 
+#: HTTP statuses worth retrying: transient server-side trouble.  504
+#: is deliberately absent — the service answers it when a waited
+#: submission outlives its wait budget, and re-POSTing would submit
+#: the job again.
+RETRY_STATUSES = (500, 502, 503)
+
 
 class ServiceError(RuntimeError):
     """The service answered with an error payload or bad status."""
@@ -39,15 +52,40 @@ class ServiceError(RuntimeError):
 class ServiceClient:
     """One service endpoint, e.g. ``http://127.0.0.1:8023``."""
 
-    def __init__(self, base_url: str, timeout_s: float = 60.0):
+    def __init__(self, base_url: str, timeout_s: float = 60.0,
+                 retries: int = 2, backoff_s: float = 0.25):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
 
     # -- transport -----------------------------------------------------
 
     def _request(self, method: str, path: str,
                  body: Optional[Dict] = None,
                  timeout_s: Optional[float] = None) -> Dict:
+        """One endpoint call with bounded retry (see module doc).
+
+        Attempts = ``retries + 1``; sleep before retry *n* is
+        ``backoff_s * 2**(n-1)``.  The last failure is raised, so
+        callers see the true terminal error, not a retry wrapper.
+        """
+        last: Optional[ServiceError] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+            try:
+                return self._request_once(method, path, body, timeout_s)
+            except ServiceError as exc:
+                if exc.status != 0 and exc.status not in RETRY_STATUSES:
+                    raise
+                last = exc
+        assert last is not None
+        raise last
+
+    def _request_once(self, method: str, path: str,
+                      body: Optional[Dict] = None,
+                      timeout_s: Optional[float] = None) -> Dict:
         url = f"{self.base_url}{API_PREFIX}{path}"
         data = None
         headers = {"Accept": "application/json"}
@@ -134,3 +172,49 @@ class ServiceClient:
 
     def health(self) -> Dict:
         return self._request("GET", "/health")
+
+    # -- store backend endpoints (see harness.store.ServiceStore) ------
+
+    def get_result(self, key: str) -> Optional[Dict]:
+        """The raw envelope for ``key``, or None (404 = cache miss)."""
+        try:
+            return self._request("GET", f"/store/envelope/{key}")
+        except ServiceError as exc:
+            if exc.status == 404:
+                return None
+            raise
+
+    def put_result(self, key: str, spec_payload: Dict,
+                   result_json: Dict) -> Dict:
+        """Publish one computed result (envelope + database row)."""
+        return self._request("POST", f"/store/envelope/{key}",
+                             {"spec": spec_payload,
+                              "result": result_json})
+
+    def store_keys(self) -> List[str]:
+        return self._request("GET", "/store/keys")["keys"]
+
+    def store_contains(self, key: str) -> bool:
+        return bool(self._request("GET",
+                                  f"/store/stat/{key}")["exists"])
+
+    def claim(self, spec_payloads: Sequence[Dict],
+              owner: Optional[str] = None,
+              steal_stale_s: Optional[float] = None) -> List[bool]:
+        """Exactly-one-winner chunk claim; one flag per spec."""
+        body: Dict = {"specs": list(spec_payloads)}
+        if owner is not None:
+            body["owner"] = owner
+        if steal_stale_s is not None:
+            body["steal_stale_s"] = steal_stale_s
+        return [bool(win) for win in
+                self._request("POST", "/store/claim", body)["claimed"]]
+
+    def release(self, key: str) -> bool:
+        return bool(self._request("POST", "/store/release",
+                                  {"key": key})["released"])
+
+    def store_gc(self, dry_run: bool = False) -> Dict:
+        """Store-wide gc (envelopes + rows) on the daemon."""
+        return self._request("POST", "/store/gc",
+                             {"dry_run": dry_run})

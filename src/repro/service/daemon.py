@@ -43,6 +43,10 @@ from repro.service.database import ResultsDatabase
 JOB_STATES = ("queued", "running", "done", "failed")
 
 
+class KeyMismatch(ValueError):
+    """A store write whose key disagrees with this daemon's sources."""
+
+
 @dataclass
 class Job:
     """One submission: its specs, lifecycle state and outcome."""
@@ -198,13 +202,106 @@ class RunService:
     def _execute(self, job: Job) -> None:
         sweep = pool.execute_sweep(job.specs, jobs=job.jobs)
         disk = runner.active_disk_cache()
+        # URL-backed stores have no local path; the row then simply
+        # carries no envelope hint (the key still addresses it).
+        path_for = getattr(disk, "path_for", None)
         for point, key in zip(sweep.points, job.keys):
-            envelope = disk.path_for(key) if disk is not None else None
+            envelope = path_for(key) if callable(path_for) else None
             self.db.record(point.spec, point.result, key=key,
                            envelope_path=envelope, owner=job.id)
         job.counts.update(sweep.counts())
         job.counts["served"] = (job.counts.get("memory", 0)
                                 + job.counts.get("disk", 0))
+
+    # -- store backend (ResultStore over HTTP, see harness.store) ------
+
+    def store_keys(self) -> List[str]:
+        """Every envelope key this daemon's store holds, sorted."""
+        disk = runner.active_disk_cache()
+        return sorted(disk.keys()) if disk is not None else []
+
+    def store_envelope(self, key: str) -> Optional[Dict]:
+        """The raw envelope for ``key``, or None (served as a 404)."""
+        disk = runner.active_disk_cache()
+        get_envelope = getattr(disk, "get_envelope", None)
+        if not callable(get_envelope):
+            return None
+        return get_envelope(key)
+
+    def store_stat(self, key: str) -> Dict:
+        """Cheap presence/status probe for one key."""
+        disk = runner.active_disk_cache()
+        return {
+            "key": key,
+            "exists": bool(disk is not None and disk.contains(key)),
+            "status": self.db.status_of(key),
+        }
+
+    def store_put(self, key: str, spec_payload: Dict,
+                  result_json: Dict) -> Dict:
+        """Persist a client-computed result: envelope, then row.
+
+        The key is recomputed from *this* daemon's sources; a mismatch
+        means the client runs different code and is rejected (409 at
+        the API layer) — two fingerprints must never share a store
+        entry.  Envelope-before-row ordering is preserved.
+        """
+        from repro.harness.spec import spec_from_payload
+        spec = spec_from_payload(spec_payload)
+        expected = run_cache.cache_key(spec)
+        if key != expected:
+            raise KeyMismatch(
+                f"client key {key[:12]}… does not match this daemon's "
+                f"{expected[:12]}… for the same spec; client and "
+                f"server code fingerprints differ")
+        result = run_cache.result_from_json(result_json)
+        disk = runner.active_disk_cache()
+        envelope_path = None
+        if disk is not None:
+            envelope_path = disk.put(key, spec, result)
+        self.db.record(spec, result, key=key,
+                       envelope_path=envelope_path, owner="store")
+        runner._install(spec, result)
+        return {"key": key, "recorded": True,
+                "envelope_path": envelope_path}
+
+    def store_claim(self, spec_payloads: Sequence[Dict],
+                    owner: Optional[str] = None,
+                    steal_stale_s: Optional[float] = None) -> Dict:
+        """Exactly-one-winner chunk claim for remote sweep workers."""
+        from repro.harness.spec import spec_from_payload
+        specs = [spec_from_payload(payload)
+                 for payload in spec_payloads]
+        keys = [run_cache.cache_key(spec) for spec in specs]
+        wins = self.db.claim_many(specs, owner=owner, keys=keys,
+                                  steal_stale_s=steal_stale_s)
+        return {"keys": keys, "claimed": wins}
+
+    def store_release(self, key: str) -> Dict:
+        return {"key": key, "released": self.db.release(key)}
+
+    def store_gc(self, dry_run: bool = False) -> Dict:
+        """Store-WIDE garbage collection: envelopes AND rows.
+
+        Envelopes are swept first, so rows whose envelope just
+        vanished are caught in the same pass — the fix for the
+        historical ``cache gc`` leaving orphaned database rows.
+        """
+        disk = runner.active_disk_cache()
+        envelopes = {"stale": [], "kept": 0, "removed": 0}
+        gc = getattr(disk, "gc", None)
+        if callable(gc):
+            report = gc(dry_run=dry_run)
+            envelopes = {"stale": [list(entry) for entry in report.stale],
+                         "kept": report.kept,
+                         "removed": report.removed}
+        rows = self.db.gc(dry_run=dry_run)
+        return {
+            "dry_run": dry_run,
+            "envelopes": envelopes,
+            "rows": {"stale": [list(entry) for entry in rows.stale],
+                     "kept": rows.kept, "removed": rows.removed},
+        }
 
     # -- inspection ----------------------------------------------------
 

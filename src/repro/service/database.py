@@ -206,7 +206,8 @@ class ResultsDatabase:
     # -- writes --------------------------------------------------------
 
     def claim(self, spec: RunSpec, owner: Optional[str] = None,
-              key: Optional[str] = None) -> bool:
+              key: Optional[str] = None,
+              steal_stale_s: Optional[float] = None) -> bool:
         """Atomically claim ``spec`` for computation.
 
         Inserts a ``pending`` row; returns True iff *this* call
@@ -214,24 +215,60 @@ class ResultsDatabase:
         caller wins and should simulate, everyone else should wait for
         the row to turn ``done`` (or for the envelope to appear).  A
         key that is already ``done`` is never re-claimed.
+
+        ``steal_stale_s`` lets a claim *steal* a pending row whose
+        ``updated_at`` is older than that many seconds — the recovery
+        path for claims stranded by a dead worker.  Staleness is
+        judged against this host's clock writing to the shared file;
+        workers touch rows only at claim/record time, so any value
+        comfortably above one chunk's runtime is safe.
         """
-        key = key or run_cache.cache_key(spec)
-        cols = self._spec_columns(spec)
+        keys = [key] if key is not None else None
+        return self.claim_many([spec], owner=owner, keys=keys,
+                               steal_stale_s=steal_stale_s)[0]
+
+    def claim_many(self, specs: Sequence[RunSpec],
+                   owner: Optional[str] = None,
+                   keys: Optional[Sequence[str]] = None,
+                   steal_stale_s: Optional[float] = None) -> List[bool]:
+        """Claim a chunk of specs in ONE locked transaction.
+
+        Returns one win/lose flag per spec.  Racing processes
+        serialize on the file lock, so for every key exactly one
+        process across the fleet sees True — the work-stealing
+        primitive distributed sweeps partition on.  See :meth:`claim`
+        for ``steal_stale_s``.
+        """
+        if keys is None:
+            keys = [run_cache.cache_key(spec) for spec in specs]
+        cols = [self._spec_columns(spec) for spec in specs]
+        fingerprint = run_cache.code_fingerprint()
         now = time.time()  # repro: allow(determinism) -- row timestamp, not result data
 
-        def txn(conn: sqlite3.Connection) -> bool:
-            cur = conn.execute(
-                "INSERT OR IGNORE INTO runs (cache_key, kind, name, "
-                "scenario, mechanism, standard, engine, seed, "
-                "spec_json, fingerprint, result_schema, status, owner, "
-                "created_at, updated_at) VALUES "
-                "(?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
-                (key, cols["kind"], cols["name"], cols["scenario"],
-                 cols["mechanism"], cols["standard"], cols["engine"],
-                 cols["seed"], cols["spec_json"],
-                 run_cache.code_fingerprint(),
-                 run_cache.SCHEMA_VERSION, "pending", owner, now, now))
-            return cur.rowcount == 1
+        def txn(conn: sqlite3.Connection) -> List[bool]:
+            wins = []
+            for spec_key, col in zip(keys, cols):
+                cur = conn.execute(
+                    "INSERT OR IGNORE INTO runs (cache_key, kind, "
+                    "name, scenario, mechanism, standard, engine, "
+                    "seed, spec_json, fingerprint, result_schema, "
+                    "status, owner, created_at, updated_at) VALUES "
+                    "(?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                    (spec_key, col["kind"], col["name"],
+                     col["scenario"], col["mechanism"], col["standard"],
+                     col["engine"], col["seed"], col["spec_json"],
+                     fingerprint, run_cache.SCHEMA_VERSION, "pending",
+                     owner, now, now))
+                won = cur.rowcount == 1
+                if not won and steal_stale_s is not None:
+                    cur = conn.execute(
+                        "UPDATE runs SET owner = ?, updated_at = ? "
+                        "WHERE cache_key = ? AND status = 'pending' "
+                        "AND updated_at <= ?",
+                        (owner, now, spec_key, now - steal_stale_s))
+                    won = cur.rowcount == 1
+                wins.append(won)
+            return wins
 
         return self._write(txn)
 
@@ -300,6 +337,59 @@ class ResultsDatabase:
                                (key,))
             return cur.rowcount == 1
         return self._write(txn)
+
+    def gc(self, fingerprint: Optional[str] = None,
+           dry_run: bool = False) -> run_cache.GCReport:
+        """Prune rows orphaned by source changes or envelope gc.
+
+        The companion to :meth:`RunCache.gc <repro.harness.cache.
+        RunCache.gc>`: a row is stale when its fingerprint no longer
+        matches the current sources, its result schema is obsolete, or
+        it advertises an envelope file that was pruned out from under
+        it.  Historically ``repro cache gc`` swept only envelopes and
+        left these rows behind; the store protocol sweeps both.
+        Returns the same :class:`~repro.harness.cache.GCReport` shape
+        as the envelope gc, with (key, reason) stale entries.
+        """
+        fingerprint = fingerprint or run_cache.code_fingerprint()
+        conn = self._connect()
+        try:
+            rows = conn.execute(
+                "SELECT cache_key, fingerprint, result_schema, status, "
+                "envelope_path FROM runs ORDER BY cache_key").fetchall()
+        finally:
+            conn.close()
+        stale: List[Tuple[str, str]] = []
+        kept = 0
+        for row in rows:
+            if row["fingerprint"] != fingerprint:
+                stale.append((row["cache_key"],
+                              "code fingerprint mismatch"))
+            elif row["result_schema"] != run_cache.SCHEMA_VERSION:
+                stale.append((row["cache_key"],
+                              f"schema {row['result_schema']} != "
+                              f"{run_cache.SCHEMA_VERSION}"))
+            elif (row["status"] == "done" and row["envelope_path"]
+                    and not os.path.exists(row["envelope_path"])):
+                stale.append((row["cache_key"], "envelope missing"))
+            else:
+                kept += 1
+        removed = 0
+        if stale and not dry_run:
+            stale_keys = [key for key, _ in stale]
+
+            def txn(conn: sqlite3.Connection) -> int:
+                deleted = 0
+                for stale_key in stale_keys:
+                    cur = conn.execute(
+                        "DELETE FROM runs WHERE cache_key = ?",
+                        (stale_key,))
+                    deleted += cur.rowcount
+                return deleted
+
+            removed = self._write(txn)
+        return run_cache.GCReport(stale=stale, kept=kept,
+                                  removed=removed)
 
     # -- reads (lock-free) ---------------------------------------------
 

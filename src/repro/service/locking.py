@@ -51,6 +51,13 @@ class FileLock:
         self.path = os.path.abspath(path)
         self.timeout_s = timeout_s
         self.poll_s = poll_s
+        # Distributed sweeps put dozens of workers on one lock file;
+        # identical poll periods make them retry in convoy (every loser
+        # wakes into the same contention window).  A small pid-derived
+        # stagger (deterministic per process, up to +50%, never part of
+        # any result) de-synchronizes the herd.  ``poll_s`` itself is
+        # kept as configured for introspection and tests.
+        self._poll_stagger_s = poll_s * ((os.getpid() % 16) / 32.0)
         self._fd: Optional[int] = None
         self._exclusive_created = False
 
@@ -84,7 +91,7 @@ class FileLock:
                     raise LockTimeout(
                         f"could not lock {self.path!r} within "
                         f"{self.timeout_s:.1f}s")
-                time.sleep(self.poll_s)
+                time.sleep(self.poll_s + self._poll_stagger_s)
         except BaseException:
             os.close(fd)
             raise
@@ -105,7 +112,7 @@ class FileLock:
                 raise LockTimeout(
                     f"could not lock {self.path!r} within "
                     f"{self.timeout_s:.1f}s")
-            time.sleep(self.poll_s)
+            time.sleep(self.poll_s + self._poll_stagger_s)
 
     def release(self) -> None:
         if not self.held:

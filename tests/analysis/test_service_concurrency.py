@@ -47,3 +47,18 @@ class TestServiceConcurrencyFixture:
         report = run_lint([str(elsewhere)])
         assert not [f for f in report.findings
                     if f.rule == "service-concurrency"]
+
+    def test_store_and_journal_modules_are_scoped(self, tmp_path):
+        """harness/store.py and harness/journal.py are persistence
+        code: the rule applies to them by basename wherever they
+        live (the PR-10 backend refactor moved store logic out of
+        service/)."""
+        from tests.analysis.helpers import fixture
+        source = open(fixture("service", "conc_bad.py")).read()
+        for basename in ("store.py", "journal.py"):
+            target = tmp_path / basename
+            target.write_text(source)
+            from repro.analysis.engine import run_lint
+            report = run_lint([str(target)])
+            assert [f for f in report.findings
+                    if f.rule == "service-concurrency"], basename

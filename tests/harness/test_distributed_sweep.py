@@ -1,0 +1,247 @@
+"""Resumable + work-stealing sweep tests (journal, claimer, drain).
+
+The ISSUE-level guarantees under test:
+
+* a killed-and-resumed sweep re-simulates **zero** checkpointed specs
+  and its journal converges to one line per key;
+* racing claimers partition a sweep with per-key simulation count
+  exactly one, and the union of their stores is byte-identical to a
+  serial run;
+* keys claimed by peers are drained from the shared store (source
+  ``"remote"``); dead peers' claims are stolen, or the sweep fails
+  loudly after its wait budget.
+"""
+
+import threading
+
+import pytest
+
+from repro.harness import cache as run_cache
+from repro.harness import pool, runner
+from repro.harness.journal import SweepJournal
+from repro.harness.pool import SweepError, execute_sweep
+from repro.harness.spec import RunSpec, Scale
+from repro.harness.store import DatabaseClaimer, LocalDirStore
+from repro.service.database import ResultsDatabase
+
+TINY = Scale(single_core_instructions=1500, multi_core_instructions=1000,
+             warmup_cpu_cycles=1000, max_mem_cycles=300_000)
+
+SWEEP = [
+    RunSpec(kind="single", name=name, mechanism=mech, scale=TINY,
+            engine="event")
+    for name in ("hmmer", "libquantum", "mcf")
+    for mech in ("none", "chargecache")
+]
+
+KEYS = [run_cache.cache_key(spec) for spec in SWEEP]
+
+
+@pytest.fixture(autouse=True)
+def _fresh(tmp_path):
+    prev = (runner._disk_enabled, runner._disk_dir)
+    runner.clear_memo()
+    runner.configure_disk_cache(str(tmp_path / "store"))
+    yield
+    runner.clear_memo()
+    runner.configure_disk_cache(prev[1], enabled=prev[0])
+
+
+@pytest.fixture
+def sim_log(monkeypatch):
+    """Log of every actual simulation (cache keys, in call order)."""
+    calls = []
+    real = runner._execute_spec
+
+    def counting(spec):
+        calls.append(run_cache.cache_key(spec))
+        return real(spec)
+
+    monkeypatch.setattr(runner, "_execute_spec", counting)
+    return calls
+
+
+def _serial_reference(tmp_path):
+    """Envelope bytes of a plain serial run, from a pristine store."""
+    ref_dir = str(tmp_path / "serial-ref")
+    runner.configure_disk_cache(ref_dir)
+    runner.clear_memo()
+    execute_sweep(SWEEP, batch=False)
+    runner.clear_memo()
+    store = LocalDirStore(ref_dir)
+    bytes_by_key = {}
+    for key in KEYS:
+        with open(store.path_for(key), "rb") as fh:
+            bytes_by_key[key] = fh.read()
+    runner.configure_disk_cache(str(tmp_path / "store"))
+    return bytes_by_key
+
+
+class TestResumption:
+    def test_killed_sweep_resumes_without_resimulating(
+            self, tmp_path, sim_log):
+        db = ResultsDatabase(str(tmp_path / "r.sqlite"))
+        journal_path = str(tmp_path / "w.journal")
+        kill_after = 2
+
+        def dying_progress(done, total, point):
+            if done >= kill_after:
+                raise KeyboardInterrupt("simulated worker death")
+
+        with pytest.raises(BaseException):
+            execute_sweep(SWEEP, journal=journal_path,
+                          claimer=DatabaseClaimer(db, owner="w1"),
+                          batch=False, progress=dying_progress)
+        first_run = list(sim_log)
+        journal = SweepJournal(journal_path)
+        checkpointed = journal.completed_keys()
+        assert len(checkpointed) == kill_after
+
+        # Restart: same journal, same store, a fresh process (memo
+        # cleared).  Dead-claim stealing lets the restart reclaim its
+        # own abandoned pending rows.
+        runner.clear_memo()
+        sim_log.clear()
+        sweep = execute_sweep(
+            SWEEP, journal=journal_path,
+            claimer=DatabaseClaimer(db, owner="w1-restart",
+                                    steal_stale_s=0.0),
+            batch=False)
+        assert [p.spec for p in sweep.points] == SWEEP
+
+        # Zero checkpointed specs re-simulated, and per-key simulation
+        # count across both runs is exactly one.
+        assert not (set(sim_log) & checkpointed)
+        assert sorted(first_run + sim_log) == sorted(KEYS)
+
+        # The journal converged: one line per key, every key present.
+        converged = SweepJournal(journal_path)
+        assert converged.completed_keys() == set(KEYS)
+        with open(journal_path, encoding="ascii") as fh:
+            assert len(fh.readlines()) == len(KEYS)
+
+    def test_rerun_of_finished_sweep_is_all_store_hits(
+            self, tmp_path, sim_log):
+        db = ResultsDatabase(str(tmp_path / "r.sqlite"))
+        journal_path = str(tmp_path / "w.journal")
+        claimer = DatabaseClaimer(db, owner="w1")
+        execute_sweep(SWEEP, journal=journal_path, claimer=claimer,
+                      batch=False)
+        runner.clear_memo()
+        sim_log.clear()
+        sweep = execute_sweep(SWEEP, journal=journal_path,
+                              claimer=claimer, batch=False)
+        assert sim_log == []
+        assert sweep.counts()["disk"] == len(SWEEP)
+        with open(journal_path, encoding="ascii") as fh:
+            assert len(fh.readlines()) == len(KEYS)
+
+
+class TestPartitioning:
+    def test_racing_claimers_split_with_exactly_one_sim_per_key(
+            self, tmp_path, sim_log):
+        reference = _serial_reference(tmp_path)
+        db = ResultsDatabase(str(tmp_path / "r.sqlite"))
+        half = SWEEP[:3]
+
+        # "Peer" wins its chunk first; we deliver its results midway
+        # through our own sweep, as a live remote worker would.
+        peer_keys = [run_cache.cache_key(spec) for spec in half]
+        assert db.claim_many(half, owner="peer",
+                             keys=peer_keys) == [True] * 3
+        store = LocalDirStore(str(tmp_path / "store"))
+
+        # Compute peer results out of band (separate store), then
+        # replicate their envelopes after a short delay.
+        peer_dir = str(tmp_path / "peer-store")
+        runner.configure_disk_cache(peer_dir)
+        runner.clear_memo()
+        execute_sweep(half, batch=False)
+        runner.clear_memo()
+        peer_store = LocalDirStore(peer_dir)
+        runner.configure_disk_cache(str(tmp_path / "store"))
+
+        def deliver():
+            for spec, key in zip(half, peer_keys):
+                store.put_envelope(key, peer_store.get_envelope(key))
+                db.record(spec, run_cache.result_from_json(
+                    peer_store.get_envelope(key)["result"]),
+                    key=key, owner="peer")
+
+        sim_log.clear()
+        timer = threading.Timer(0.3, deliver)
+        timer.start()
+        try:
+            sweep = execute_sweep(
+                SWEEP, claimer=DatabaseClaimer(db, owner="me"),
+                batch=False, remote_wait_s=30.0, remote_poll_s=0.01)
+        finally:
+            timer.cancel()
+
+        counts = sweep.counts()
+        assert counts["computed"] == 3
+        assert counts["remote"] == 3
+        assert sorted(sim_log) == sorted(
+            run_cache.cache_key(spec) for spec in SWEEP[3:])
+        # Union of both workers' output is byte-identical to serial.
+        for key in KEYS:
+            with open(store.path_for(key), "rb") as fh:
+                assert fh.read() == reference[key]
+        # Results are correct in order.
+        assert [p.spec for p in sweep.points] == SWEEP
+
+    def test_dead_peer_claims_are_stolen(self, tmp_path, sim_log):
+        db = ResultsDatabase(str(tmp_path / "r.sqlite"))
+        half = SWEEP[:3]
+        assert all(db.claim_many(
+            half, owner="dead-peer",
+            keys=[run_cache.cache_key(s) for s in half]))
+        sweep = execute_sweep(
+            SWEEP,
+            claimer=DatabaseClaimer(db, owner="me", steal_stale_s=0.0),
+            batch=False, remote_wait_s=5.0, remote_poll_s=0.01)
+        assert sweep.counts()["computed"] == len(SWEEP)
+        assert sorted(sim_log) == sorted(KEYS)
+
+    def test_unserved_peer_claims_time_out(self, tmp_path):
+        db = ResultsDatabase(str(tmp_path / "r.sqlite"))
+        spec = SWEEP[0]
+        assert db.claim(spec, owner="silent-peer",
+                        key=run_cache.cache_key(spec))
+        with pytest.raises(SweepError):
+            execute_sweep([spec],
+                          claimer=DatabaseClaimer(db, owner="me"),
+                          batch=False, remote_wait_s=0.2,
+                          remote_poll_s=0.01)
+
+    def test_distributed_needs_a_store(self, tmp_path):
+        runner.configure_disk_cache(None, enabled=False)
+        db = ResultsDatabase(str(tmp_path / "r.sqlite"))
+        with pytest.raises(SweepError):
+            execute_sweep(SWEEP[:1],
+                          claimer=DatabaseClaimer(db, owner="me"))
+
+
+class TestChunking:
+    def test_chunks_pack_whole_units(self):
+        units = [["a", "b"], ["c"], ["d", "e"], ["f"]]
+        chunks = pool._chunk_units(units, chunk_specs=2)
+        # Units are never split across chunks.
+        flattened = [unit for chunk in chunks for unit in chunk]
+        assert flattened == units
+        assert [sum(len(u) for u in chunk) for chunk in chunks] \
+            == [2, 3, 1]
+
+    def test_batched_distributed_matches_unbatched(
+            self, tmp_path, sim_log):
+        db = ResultsDatabase(str(tmp_path / "r.sqlite"))
+        batched = execute_sweep(
+            SWEEP, claimer=DatabaseClaimer(db, owner="me"),
+            batch=True, chunk_specs=2)
+        runner.clear_memo()
+        runner.configure_disk_cache(str(tmp_path / "other"))
+        plain = execute_sweep(SWEEP, batch=False)
+        for a, b in zip(batched.results, plain.results):
+            assert a.ipcs == b.ipcs
+            assert a.mem_cycles == b.mem_cycles
+            assert a.mechanism_hits == b.mechanism_hits

@@ -1,0 +1,191 @@
+"""Tests for the pluggable ResultStore backends (harness.store)."""
+
+import os
+
+import pytest
+
+from repro.harness import cache as run_cache
+from repro.harness import runner
+from repro.harness.spec import RunSpec, Scale
+from repro.harness.store import (
+    LayeredStore,
+    LocalDirStore,
+    ResultStore,
+    is_store_url,
+    open_store,
+    store_url,
+)
+
+TINY = Scale(single_core_instructions=1500, multi_core_instructions=1000,
+             warmup_cpu_cycles=1000, max_mem_cycles=300_000)
+
+SPEC = RunSpec(kind="single", name="hmmer", mechanism="none", scale=TINY,
+               engine="event")
+
+
+@pytest.fixture(autouse=True)
+def _fresh(tmp_path):
+    prev = (runner._disk_enabled, runner._disk_dir)
+    runner.clear_memo()
+    runner.configure_disk_cache(None, enabled=False)
+    yield
+    runner.clear_memo()
+    runner.configure_disk_cache(prev[1], enabled=prev[0])
+
+
+def _result():
+    return runner.run_spec(SPEC)
+
+
+class TestURLParsing:
+    def test_is_store_url(self):
+        assert is_store_url("http://127.0.0.1:8023")
+        assert is_store_url("file:///tmp/x")
+        assert is_store_url("layered:/tmp/a,http://h:1")
+        assert not is_store_url("/tmp/plain/dir")
+        assert not is_store_url("relative/dir")
+
+    def test_plain_path_and_file_url(self, tmp_path):
+        a = open_store(str(tmp_path / "a"))
+        b = open_store(f"file://{tmp_path / 'a'}")
+        assert isinstance(a, LocalDirStore)
+        assert isinstance(b, LocalDirStore)
+        assert a.root == b.root
+        assert store_url(a) == f"file://{tmp_path / 'a'}"
+
+    def test_http_url(self):
+        store = open_store("http://127.0.0.1:1")  # never contacted
+        assert store.scheme == "http"
+        assert store_url(store) == "http://127.0.0.1:1"
+
+    def test_layered_url(self, tmp_path):
+        store = open_store(f"layered:{tmp_path / 'l'},http://127.0.0.1:1")
+        assert isinstance(store, LayeredStore)
+        assert isinstance(store.local, LocalDirStore)
+        assert store.remote.scheme == "http"
+
+    def test_layered_default_local(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "dflt"))
+        store = open_store("layered:http://127.0.0.1:1")
+        assert isinstance(store.local, LocalDirStore)
+        assert store.local.root == str(tmp_path / "dflt")
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            open_store("ftp://example.com/cache")
+
+    def test_layered_remote_must_not_nest(self, tmp_path):
+        with pytest.raises(ValueError):
+            open_store(f"layered:{tmp_path},layered:{tmp_path}")
+
+
+class TestLocalDirStore:
+    def test_is_a_result_store(self, tmp_path):
+        store = LocalDirStore(str(tmp_path))
+        assert isinstance(store, ResultStore)
+        assert isinstance(run_cache.RunCache(str(tmp_path)), ResultStore)
+
+    def test_round_trip(self, tmp_path):
+        store = LocalDirStore(str(tmp_path))
+        result = _result()
+        key = run_cache.cache_key(SPEC)
+        assert not store.contains(key)
+        store.put(key, SPEC, result)
+        assert store.contains(key)
+        assert store.keys() == [key]
+        hit = store.get(key)
+        assert hit.ipcs == result.ipcs
+        envelope = store.get_envelope(key)
+        assert envelope["key"] == key
+        assert envelope["schema"] == run_cache.SCHEMA_VERSION
+
+
+class TestLayeredStore:
+    def _pair(self, tmp_path):
+        local = LocalDirStore(str(tmp_path / "local"))
+        remote = LocalDirStore(str(tmp_path / "remote"))
+        return local, remote, LayeredStore(local, remote)
+
+    def test_write_through(self, tmp_path):
+        local, remote, layered = self._pair(tmp_path)
+        key = run_cache.cache_key(SPEC)
+        layered.put(key, SPEC, _result())
+        assert local.contains(key) and remote.contains(key)
+
+    def test_read_through_with_write_back(self, tmp_path):
+        local, remote, layered = self._pair(tmp_path)
+        key = run_cache.cache_key(SPEC)
+        remote.put(key, SPEC, _result())
+        assert not local.contains(key)
+        hit = layered.get(key)
+        assert hit is not None
+        # The remote envelope was replicated locally, byte-identical.
+        assert local.contains(key)
+        with open(local.path_for(key), "rb") as a, \
+                open(remote.path_for(key), "rb") as b:
+            assert a.read() == b.read()
+
+    def test_keys_union(self, tmp_path):
+        local, remote, layered = self._pair(tmp_path)
+        key = run_cache.cache_key(SPEC)
+        remote.put(key, SPEC, _result())
+        assert layered.keys() == [key]
+        assert layered.contains(key)
+
+    def test_clear_is_local_only(self, tmp_path):
+        local, remote, layered = self._pair(tmp_path)
+        key = run_cache.cache_key(SPEC)
+        layered.put(key, SPEC, _result())
+        layered.clear()
+        assert not local.contains(key)
+        assert remote.contains(key)
+
+
+class TestRunnerBinding:
+    def test_url_binding_opens_a_store(self, tmp_path):
+        runner.configure_disk_cache(f"file://{tmp_path / 'c'}")
+        disk = runner.active_disk_cache()
+        assert isinstance(disk, LocalDirStore)
+
+    def test_plain_dir_binding_unchanged(self, tmp_path):
+        runner.configure_disk_cache(str(tmp_path / "c"))
+        disk = runner.active_disk_cache()
+        assert isinstance(disk, run_cache.RunCache)
+
+
+class TestEnvelopeValidation:
+    def test_put_envelope_rejects_key_mismatch(self, tmp_path):
+        store = LocalDirStore(str(tmp_path))
+        key = run_cache.cache_key(SPEC)
+        store.put(key, SPEC, _result())
+        envelope = store.get_envelope(key)
+        with pytest.raises(ValueError):
+            store.put_envelope("0" * 64, envelope)
+
+    def test_put_envelope_rejects_schema_mismatch(self, tmp_path):
+        store = LocalDirStore(str(tmp_path))
+        key = run_cache.cache_key(SPEC)
+        store.put(key, SPEC, _result())
+        envelope = dict(store.get_envelope(key))
+        envelope["schema"] = 999
+        with pytest.raises(ValueError):
+            store.put_envelope(key, envelope)
+
+    def test_get_envelope_tolerates_corruption(self, tmp_path):
+        store = LocalDirStore(str(tmp_path))
+        key = run_cache.cache_key(SPEC)
+        store.put(key, SPEC, _result())
+        with open(store.path_for(key), "w", encoding="ascii") as fh:
+            fh.write("{not json")
+        assert store.get_envelope(key) is None
+        assert store.get(key) is None
+
+    def test_envelope_replication_preserves_bytes(self, tmp_path):
+        src = LocalDirStore(str(tmp_path / "src"))
+        dst = LocalDirStore(str(tmp_path / "dst"))
+        key = run_cache.cache_key(SPEC)
+        store_path = src.put(key, SPEC, _result())
+        dst.put_envelope(key, src.get_envelope(key))
+        with open(store_path, "rb") as a, \
+                open(dst.path_for(key), "rb") as b:
+            assert a.read() == b.read()

@@ -1,0 +1,245 @@
+"""End-to-end tests for the HTTP store backend and client retries.
+
+A live ThreadingHTTPServer fronts a real RunService;
+``ServiceStore``/``LayeredStore`` and the sweep claim protocol talk to
+it over loopback exactly as a fleet worker would.
+"""
+
+import threading
+
+import pytest
+
+from repro.harness import cache as run_cache
+from repro.harness import runner
+from repro.harness.runner import Scale, workload_spec
+from repro.harness.store import LayeredStore, LocalDirStore, ServiceStore
+from repro.service.api import make_server
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import RunService
+
+TINY = Scale(single_core_instructions=1500, multi_core_instructions=1000,
+             warmup_cpu_cycles=1000, max_mem_cycles=300_000)
+
+SPEC = workload_spec("libquantum", "chargecache", TINY)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache(tmp_path):
+    prev = (runner._disk_enabled, runner._disk_dir)
+    runner.clear_memo()
+    runner.configure_disk_cache(str(tmp_path / "daemon-cache"))
+    yield
+    runner.clear_memo()
+    runner.configure_disk_cache(prev[1], enabled=prev[0])
+
+
+@pytest.fixture
+def client(tmp_path):
+    service = RunService(str(tmp_path / "results.sqlite")).start()
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address
+    try:
+        yield ServiceClient(f"http://{host}:{port}")
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+        service.stop()
+
+
+def _computed(spec):
+    """A result computed out of band (separate store, memo cleared)."""
+    result = runner.run_spec(spec)
+    runner.clear_memo()
+    return result
+
+
+class TestStoreRoutes:
+    def test_envelope_round_trip(self, client):
+        key = run_cache.cache_key(SPEC)
+        assert client.get_result(key) is None
+        assert not client.store_contains(key)
+        assert client.store_keys() == []
+
+        result = _computed(SPEC)
+        put = client.put_result(key, SPEC.key_payload(),
+                                run_cache.result_to_json(result))
+        assert put["recorded"] and put["key"] == key
+
+        assert client.store_contains(key)
+        assert client.store_keys() == [key]
+        envelope = client.get_result(key)
+        assert envelope["key"] == key
+        decoded = run_cache.result_from_json(envelope["result"])
+        assert decoded.ipcs == result.ipcs
+
+    def test_key_mismatch_is_409(self, client):
+        result = _computed(SPEC)
+        with pytest.raises(ServiceError) as err:
+            client.put_result("0" * 64, SPEC.key_payload(),
+                              run_cache.result_to_json(result))
+        assert err.value.status == 409
+        assert "fingerprint" in str(err.value)
+
+    def test_claim_release_and_gc(self, client):
+        payload = SPEC.key_payload()
+        key = run_cache.cache_key(SPEC)
+        assert client.claim([payload], owner="w1") == [True]
+        assert client.claim([payload], owner="w2") == [False]
+        assert client.release(key)
+        assert client.claim([payload], owner="w2") == [True]
+
+        # gc sweeps the pending row (no envelope behind it).
+        report = client.store_gc(dry_run=True)
+        assert report["dry_run"] is True
+        assert client.claim([payload], owner="w3") == [False]
+
+
+class TestServiceStoreBackend:
+    def test_service_store_round_trip(self, client):
+        store = ServiceStore(client.base_url)
+        key = run_cache.cache_key(SPEC)
+        assert store.get(key) is None
+        result = _computed(SPEC)
+        store.put(key, SPEC, result)
+        assert store.contains(key)
+        assert store.keys() == [key]
+        assert store.get(key).ipcs == result.ipcs
+        assert store.misses == 1 and store.stores == 1
+
+    def test_layered_write_back(self, client, tmp_path):
+        local = LocalDirStore(str(tmp_path / "local"))
+        layered = LayeredStore(local, ServiceStore(client.base_url))
+        key = run_cache.cache_key(SPEC)
+        result = _computed(SPEC)
+
+        # Publish remotely only, then read through the layered store:
+        # the envelope is replicated into the local layer.
+        client.put_result(key, SPEC.key_payload(),
+                          run_cache.result_to_json(result))
+        assert not local.contains(key)
+        assert layered.get(key).ipcs == result.ipcs
+        assert local.contains(key)
+
+        # The write-back is byte-identical to the daemon's envelope.
+        daemon_store = LocalDirStore(str(tmp_path / "daemon-cache"))
+        with open(local.path_for(key), "rb") as a, \
+                open(daemon_store.path_for(key), "rb") as b:
+            assert a.read() == b.read()
+
+    def test_sweep_through_http_store(self, client, tmp_path):
+        """A worker process sweeping against the daemon's store.
+
+        Runs out of process: the worker binds ``layered:local,http``
+        as its ambient store — in this test process that binding is
+        the daemon's, and a daemon writing through an HTTP remote
+        pointing at itself would recurse.
+        """
+        import json as json_mod
+        import os
+        import subprocess
+        import sys
+
+        worker = (
+            "import json, sys\n"
+            "from repro.harness import runner\n"
+            "from repro.harness.pool import execute_sweep\n"
+            "from repro.harness.runner import Scale, workload_spec\n"
+            "from repro.harness.store import ServiceClaimer\n"
+            "local, url = sys.argv[1:3]\n"
+            "runner.configure_disk_cache('layered:%s,%s' % (local, url))\n"
+            "TINY = Scale(single_core_instructions=1500,\n"
+            "             multi_core_instructions=1000,\n"
+            "             warmup_cpu_cycles=1000, max_mem_cycles=300000)\n"
+            "specs = [workload_spec('libquantum', mech, TINY)\n"
+            "         for mech in ('none', 'chargecache')]\n"
+            "store = runner.active_disk_cache()\n"
+            "sweep = execute_sweep(\n"
+            "    specs, claimer=ServiceClaimer(store, owner='w1'),\n"
+            "    batch=False)\n"
+            "print(json.dumps(sweep.counts()))\n"
+        )
+        env = dict(os.environ,
+                   PYTHONPATH=os.pathsep.join(
+                       filter(None, [os.path.abspath("src"),
+                                     os.environ.get("PYTHONPATH")])))
+        out = subprocess.run(
+            [sys.executable, "-c", worker,
+             str(tmp_path / "worker-local"), client.base_url],
+            capture_output=True, text=True, timeout=300, env=env)
+        assert out.returncode == 0, out.stderr
+        counts = json_mod.loads(out.stdout.strip().splitlines()[-1])
+        assert counts["computed"] == 2
+
+        # Both results landed daemon-side (envelope + row).
+        specs = [workload_spec("libquantum", mech, TINY)
+                 for mech in ("none", "chargecache")]
+        for spec in specs:
+            assert client.store_contains(run_cache.cache_key(spec))
+        table = client.query(status="any")
+        assert table["count"] == 2
+
+        # And this process's daemon-side store can decode them.
+        frame_keys = client.store_keys()
+        assert len(frame_keys) == 2
+
+
+class TestClientRetry:
+    def _flaky(self, client, fail_statuses, monkeypatch):
+        calls = []
+        real = ServiceClient._request_once
+
+        def flaky(self, method, path, body=None, timeout_s=None):
+            calls.append(path)
+            if len(calls) <= len(fail_statuses):
+                status = fail_statuses[len(calls) - 1]
+                raise ServiceError(status, f"injected {status}")
+            return real(self, method, path, body, timeout_s)
+
+        monkeypatch.setattr(ServiceClient, "_request_once", flaky)
+        return calls
+
+    def test_transient_5xx_is_retried(self, client, monkeypatch):
+        client.backoff_s = 0.01
+        calls = self._flaky(client, [503, 500], monkeypatch)
+        assert client.health()["ok"] is True
+        assert len(calls) == 3
+
+    def test_connection_error_is_retried(self, client, monkeypatch):
+        client.backoff_s = 0.01
+        calls = self._flaky(client, [0], monkeypatch)
+        assert client.health()["ok"] is True
+        assert len(calls) == 2
+
+    def test_4xx_is_not_retried(self, client, monkeypatch):
+        calls = self._flaky(client, [404, 404, 404], monkeypatch)
+        with pytest.raises(ServiceError) as err:
+            client.health()
+        assert err.value.status == 404
+        assert len(calls) == 1
+
+    def test_504_is_not_retried(self, client, monkeypatch):
+        calls = self._flaky(client, [504], monkeypatch)
+        with pytest.raises(ServiceError) as err:
+            client.health()
+        assert err.value.status == 504
+        assert len(calls) == 1
+
+    def test_exhausted_retries_surface_last_error(self, monkeypatch):
+        client = ServiceClient("http://127.0.0.1:1", timeout_s=0.2,
+                               retries=2, backoff_s=0.01)
+        attempts = []
+        real = ServiceClient._request_once
+
+        def counting(self, method, path, body=None, timeout_s=None):
+            attempts.append(path)
+            return real(self, method, path, body, timeout_s)
+
+        monkeypatch.setattr(ServiceClient, "_request_once", counting)
+        with pytest.raises(ServiceError) as err:
+            client.health()
+        assert err.value.status == 0
+        assert "cannot reach" in str(err.value)
+        assert len(attempts) == 3
